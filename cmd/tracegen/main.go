@@ -1,0 +1,62 @@
+// Command tracegen writes a synthetic memory trace in the repository's
+// text trace format (one "W <addr>" / "R <addr>" record per line), for
+// replay with cmd/replay.
+//
+// Examples:
+//
+//	tracegen -n 100000 > oltp.trace                 # default OLTP-like mix
+//	tracegen -mix streaming -n 50000 > scan.trace
+//	tracegen -zipf 1.3 -writes 0.7 -lines 65536 > hot.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maxwe/internal/trace"
+	"maxwe/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of records")
+	lines := flag.Int("lines", 1<<16, "logical address-space size in lines")
+	mix := flag.String("mix", "oltp", "workload mix: oltp|streaming|custom")
+	seq := flag.Float64("seq", 0, "custom mix: sequential weight")
+	rnd := flag.Float64("rand", 0, "custom mix: random weight")
+	zipf := flag.Float64("zipf", 0, "custom mix: zipf weight (exponent via -zipf-s)")
+	zipfS := flag.Float64("zipf-s", 1.1, "custom mix: zipf exponent")
+	writes := flag.Float64("writes", -1, "write ratio override in [0,1] (-1 = mix default)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var m trace.Mix
+	switch *mix {
+	case "oltp":
+		m = trace.OLTPLike()
+	case "streaming":
+		m = trace.StreamingLike()
+	case "custom":
+		m = trace.Mix{Sequential: *seq, Random: *rnd, Zipf: *zipf, ZipfS: *zipfS}
+		if *writes < 0 {
+			m.WriteRatio = 0.5
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown mix %q\n", *mix)
+		os.Exit(2)
+	}
+	if *writes >= 0 {
+		m.WriteRatio = *writes
+	}
+
+	g, err := trace.NewGenerator(*lines, m, xrand.New(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("# tracegen n=%d lines=%d mix=%s seed=%d\n", *n, *lines, *mix, *seed)
+	if err := trace.Encode(os.Stdout, g.Generate(*n)); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

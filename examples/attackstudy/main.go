@@ -1,0 +1,70 @@
+// Attack study: how different write patterns kill an NVM device, and why
+// wear leveling helps some attacks but not others (Section 3.3 of the
+// paper).
+//
+// The study runs four workloads (the uniform address attack, the birthday
+// paradox attack, a single-address hammer, and a benign Zipf workload)
+// against an unprotected device and against Max-WE, under no wear
+// leveling and under the endurance-aware WAWL substrate.
+//
+// Run with:
+//
+//	go run ./examples/attackstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"maxwe"
+)
+
+func main() {
+	// A mid-size device keeps the full study under a minute on one core.
+	base := maxwe.DefaultConfig()
+	base.Regions = 256
+	base.LinesPerRegion = 16
+	base.MeanEndurance = 1000
+
+	attacks := []string{"uaa", "bpa", "repeated", "hotcold"}
+	stacks := []struct {
+		label  string
+		scheme string
+		wl     string
+	}{
+		{"unprotected", "none", ""},
+		{"unprotected + wawl", "none", "wawl"},
+		{"max-we", "max-we", ""},
+		{"max-we + wawl", "max-we", "wawl"},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "attack\tstack\tnormalized lifetime\tamplification")
+	for _, atk := range attacks {
+		for _, st := range stacks {
+			cfg := base
+			cfg.Attack = atk
+			cfg.Scheme = st.scheme
+			cfg.WearLeveling = st.wl
+			sys, err := maxwe.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := sys.RunLifetime()
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n",
+				atk, st.label, res.NormalizedLifetime, res.WriteAmplification)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("What to look for:")
+	fmt.Println(" - Under UAA, wear leveling does not help (it only adds remap writes);")
+	fmt.Println("   only spare capacity (max-we) extends lifetime.")
+	fmt.Println(" - Under the hammering attacks (bpa, repeated), endurance-aware wear")
+	fmt.Println("   leveling recovers a lot of lifetime, and max-we stacks on top of it.")
+}

@@ -1,0 +1,77 @@
+// Capacity planning: choose the spare-line provisioning for a target
+// lifetime under a worst-case (UAA) adversary — the Section 5.2.1
+// parameter study as a decision aid.
+//
+// Given a target normalized lifetime, the planner sweeps the spare
+// percentage, reports the achieved lifetime and the user capacity given
+// up, and picks the smallest provisioning that meets the target. It then
+// cross-checks the pick against the closed-form lower bound (Equation 6).
+//
+// Run with:
+//
+//	go run ./examples/capacityplan            # default target 40%
+//	go run ./examples/capacityplan 0.6        # target 60% of ideal
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+)
+
+import "maxwe"
+
+func main() {
+	target := 0.40
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil || v <= 0 || v >= 1 {
+			log.Fatalf("capacityplan: target must be a fraction in (0,1), got %q", os.Args[1])
+		}
+		target = v
+	}
+
+	fmt.Printf("planning for >= %.0f%% of ideal lifetime under UAA (q=50)\n\n", target*100)
+	fmt.Printf("%8s  %20s  %14s  %s\n", "spare %", "achieved lifetime", "user capacity", "meets target")
+
+	best := -1
+	for _, pct := range []int{0, 1, 2, 5, 10, 15, 20, 25, 30, 40, 50} {
+		cfg := maxwe.DefaultConfig()
+		cfg.Regions = 256
+		cfg.LinesPerRegion = 16
+		cfg.MeanEndurance = 1000
+		cfg.SpareFraction = float64(pct) / 100
+		sys, err := maxwe.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sys.RunLifetime()
+		meets := res.NormalizedLifetime >= target
+		if meets && best < 0 {
+			best = pct
+		}
+		fmt.Printf("%7d%%  %19.1f%%  %13.1f%%  %v\n",
+			pct, res.NormalizedLifetime*100,
+			float64(sys.UserLines())/float64(sys.Profile().Lines())*100, meets)
+	}
+
+	fmt.Println()
+	if best < 0 {
+		fmt.Println("no provisioning up to 50% meets the target; lower the target or the variation q")
+		return
+	}
+	fmt.Printf("recommendation: %d%% spares\n", best)
+
+	// Sanity-check against the analytic lower bound (Equation 6 ignores
+	// the dynamic spare pool, so simulation should be at or above it).
+	cfg := maxwe.DefaultConfig()
+	cfg.SpareFraction = float64(best) / 100
+	sys, err := maxwe.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an := sys.Analytic()
+	fmt.Printf("analytic Eq-6 bound at that provisioning: %.1f%% of ideal\n",
+		an.NormalizedMaxWE()*100)
+}

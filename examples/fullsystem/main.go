@@ -1,0 +1,112 @@
+// Full system: a benign workload through the complete memory hierarchy —
+// synthetic OLTP-like trace -> DRAM write-back buffer -> Max-WE-protected
+// NVM — contrasted with the same hierarchy under UAA. This quantifies
+// the paper's Section 3.3.2 point end to end: the buffer (and write
+// reduction) protect against normal workloads but not against the
+// uniform attack.
+//
+// Run with:
+//
+//	go run ./examples/fullsystem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maxwe"
+	"maxwe/internal/buffer"
+	"maxwe/internal/trace"
+	"maxwe/internal/xrand"
+)
+
+func main() {
+	const requests = 2_000_000
+
+	benign := driveTrace(requests, false)
+	attackRun := driveTrace(requests, true)
+
+	fmt.Println("full hierarchy: trace -> DRAM buffer -> Max-WE NVM")
+	fmt.Printf("%-22s %14s %14s\n", "", "OLTP-like", "UAA sweep")
+	fmt.Printf("%-22s %13.1f%% %13.1f%%\n", "buffer hit rate",
+		benign.hitRate*100, attackRun.hitRate*100)
+	fmt.Printf("%-22s %14d %14d\n", "NVM write-backs",
+		benign.writeBacks, attackRun.writeBacks)
+	fmt.Printf("%-22s %13.2f%% %13.2f%%\n", "NVM budget consumed",
+		benign.wearFraction*100, attackRun.wearFraction*100)
+	fmt.Printf("%-22s %14v %14v\n", "device failed",
+		benign.failed, attackRun.failed)
+
+	fmt.Println()
+	fmt.Println("The buffer thins the benign workload and wear leveling spreads the")
+	fmt.Println("rest, so the device survives. The uniform sweep misses on every")
+	fmt.Println("access, pushes its full write stream into the NVM, and kills the")
+	fmt.Println("device despite the identical protection stack.")
+}
+
+type outcome struct {
+	hitRate      float64
+	writeBacks   int64
+	wearFraction float64
+	failed       bool
+}
+
+func driveTrace(requests int, uaa bool) outcome {
+	cfg := maxwe.DefaultConfig()
+	cfg.Regions = 256
+	cfg.LinesPerRegion = 16
+	cfg.MeanEndurance = 1000
+	// A realistic stack wears-levels under the buffer: the buffer thins
+	// the traffic, the leveler spreads what remains.
+	cfg.WearLeveling = "wawl"
+	sys, err := maxwe.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stepper()
+	memLines := st.LogicalLines()
+
+	// A 2%-of-memory DRAM buffer, 8-way.
+	cache := buffer.New(memLines/50/8, 8)
+
+	var gen *trace.Generator
+	if !uaa {
+		gen, err = trace.NewGenerator(memLines, trace.OLTPLike(), xrand.New(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	next := 0
+	for i := 0; i < requests && !st.Failed(); i++ {
+		var line int
+		write := true
+		if uaa {
+			line = next
+			next = (next + 1) % memLines
+		} else {
+			rec := gen.Next()
+			line, write = rec.Line, rec.Op == trace.Write
+		}
+		if !write {
+			continue // reads do not wear NVM and only warm the buffer
+		}
+		if victim, wb := cache.Write(line); wb {
+			st.Write(victim)
+		}
+	}
+	// What remains dirty in the buffer eventually reaches the NVM too.
+	for _, victim := range cache.Flush() {
+		if !st.Write(victim) {
+			break
+		}
+	}
+
+	res := st.Result()
+	return outcome{
+		hitRate:      cache.HitRate(),
+		writeBacks:   cache.WriteBacks(),
+		wearFraction: res.NormalizedLifetime, // budget consumed so far
+		failed:       res.Failed,
+	}
+}

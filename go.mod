@@ -1,0 +1,3 @@
+module maxwe
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package analytic implements the paper's closed-form lifetime analysis
+// under the tractable linear endurance model (Sections 3.1 and 4.3):
+// the N memory lines have endurance linearly distributed between the
+// minimum EL and maximum EH, and the Uniform Address Attack writes every
+// line once per round.
+//
+// Equations (numbering follows the paper):
+//
+//	(3) L_ideal    = N*(EH-EL)/2 + N*EL
+//	(4) L_UAA      = N*EL
+//	(5) L_UAA/L_ideal = 2*EL / (EH+EL)
+//	(6) L_MaxWE    = (N-S) * (EL + 2*S*(EH-EL)/N)
+//	(7) L_PCD/PS   = S*(N-S/2)*(EH-EL)/N + N*EL
+//	(8) L_PS-worst = (N-S) * (EL + S*(EH-EL)/N)
+//
+// The package also produces the data series behind Figure 1 (the
+// endurance-distribution areas) and Figure 5 (the lifetime surface over
+// the spare fraction p and the variation degree q).
+package analytic
+
+import "fmt"
+
+// Params are the inputs of the linear model. N is the total number of
+// lines, S the number of spare lines, EL/EH the minimum/maximum line
+// endurance.
+type Params struct {
+	N  float64
+	S  float64
+	EL float64
+	EH float64
+}
+
+// Validate reports whether the parameters are in the model's domain.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("analytic: N = %v must be positive", p.N)
+	case p.S < 0 || p.S >= p.N:
+		return fmt.Errorf("analytic: S = %v must be in [0, N)", p.S)
+	case p.EL <= 0:
+		return fmt.Errorf("analytic: EL = %v must be positive", p.EL)
+	case p.EH < p.EL:
+		return fmt.Errorf("analytic: EH = %v must be >= EL = %v", p.EH, p.EL)
+	}
+	return nil
+}
+
+// FromPQ builds Params from the paper's normalized knobs: p = S/N (spare
+// fraction) and q = EH/EL (degree of process variation), with EL fixed to
+// 1 so all lifetimes are in units of EL-writes.
+func FromPQ(n, pFrac, q float64) Params {
+	return Params{N: n, S: pFrac * n, EL: 1, EH: q}
+}
+
+// Ideal returns Equation 3, the area under the endurance distribution:
+// every line is written exactly to its endurance.
+func (p Params) Ideal() float64 {
+	return p.N*(p.EH-p.EL)/2 + p.N*p.EL
+}
+
+// UAA returns Equation 4: under the uniform address attack with no
+// protection the device dies when the weakest line dies, after N*EL
+// writes.
+func (p Params) UAA() float64 {
+	return p.N * p.EL
+}
+
+// UAARatio returns Equation 5, L_UAA / L_ideal = 2EL/(EH+EL).
+func (p Params) UAARatio() float64 {
+	return 2 * p.EL / (p.EH + p.EL)
+}
+
+// MaxWE returns Equation 6: with the weakest S lines reserved as spares
+// and weak-strong matching, lifetime is governed by the (2S+1)-th weakest
+// line, endured by the N-S working lines.
+func (p Params) MaxWE() float64 {
+	return (p.N - p.S) * (p.EL + 2*p.S*(p.EH-p.EL)/p.N)
+}
+
+// PCDPS returns Equation 7, the lifetime of Physical Capacity Degradation,
+// which the paper (after Ferreira et al.) also uses for the average case
+// of Physical Sparing: write traffic spreads over the whole space and the
+// device survives the first S failures.
+func (p Params) PCDPS() float64 {
+	return p.S*(p.N-p.S/2)*(p.EH-p.EL)/p.N + p.N*p.EL
+}
+
+// PSWorst returns Equation 8, the worst case of Physical Sparing where the
+// spares are taken from strong lines: lifetime is governed by the (S+1)-th
+// weakest line.
+func (p Params) PSWorst() float64 {
+	return (p.N - p.S) * (p.EL + p.S*(p.EH-p.EL)/p.N)
+}
+
+// NormalizedMaxWE, NormalizedPCDPS and NormalizedPSWorst divide the
+// respective lifetimes by the ideal lifetime, producing the z values of
+// Figure 5.
+func (p Params) NormalizedMaxWE() float64   { return p.MaxWE() / p.Ideal() }
+func (p Params) NormalizedPCDPS() float64   { return p.PCDPS() / p.Ideal() }
+func (p Params) NormalizedPSWorst() float64 { return p.PSWorst() / p.Ideal() }
+
+// Fig1Point is one x position of Figure 1: lines sorted by descending
+// endurance, with the endurance value and the EL floor that bounds the
+// UAA-reachable writes.
+type Fig1Point struct {
+	// LineRank is the position in the descending endurance order,
+	// normalized to [0, 1].
+	LineRank float64
+	// Endurance is the line's endurance under the linear model.
+	Endurance float64
+	// UAAFloor is EL — the per-line writes UAA achieves before death.
+	UAAFloor float64
+}
+
+// Fig1Series samples Figure 1's endurance-distribution diagonal at points
+// positions. The area under Endurance is L_ideal/N; the area under
+// UAAFloor is L_UAA/N.
+func (p Params) Fig1Series(points int) []Fig1Point {
+	if points < 2 {
+		panic("analytic: Fig1Series needs at least 2 points")
+	}
+	out := make([]Fig1Point, points)
+	for i := range out {
+		frac := float64(i) / float64(points-1)
+		out[i] = Fig1Point{
+			LineRank:  frac,
+			Endurance: p.EH - (p.EH-p.EL)*frac,
+			UAAFloor:  p.EL,
+		}
+	}
+	return out
+}
+
+// SurfacePoint is one (p, q) cell of Figure 5 with the three normalized
+// lifetimes.
+type SurfacePoint struct {
+	P       float64 // spare fraction S/N
+	Q       float64 // variation degree EH/EL
+	MaxWE   float64 // normalized lifetime, Equation 6 / Equation 3
+	PCDPS   float64 // Equation 7 / Equation 3
+	PSWorst float64 // Equation 8 / Equation 3
+}
+
+// Fig5Surface evaluates the Figure 5 comparison over pSteps values of
+// p in [pMin, pMax] and qSteps values of q in [qMin, qMax], row-major in
+// p then q. The paper's axes are 0.1 <= p <= 0.3 and 10 <= q <= 100.
+func Fig5Surface(pMin, pMax float64, pSteps int, qMin, qMax float64, qSteps int) []SurfacePoint {
+	if pSteps < 2 || qSteps < 2 {
+		panic("analytic: Fig5Surface needs at least 2 steps per axis")
+	}
+	if pMin <= 0 || pMax >= 1 || pMin > pMax || qMin < 1 || qMin > qMax {
+		panic("analytic: Fig5Surface parameter range out of domain")
+	}
+	out := make([]SurfacePoint, 0, pSteps*qSteps)
+	for i := 0; i < pSteps; i++ {
+		pf := pMin + (pMax-pMin)*float64(i)/float64(pSteps-1)
+		for j := 0; j < qSteps; j++ {
+			q := qMin + (qMax-qMin)*float64(j)/float64(qSteps-1)
+			par := FromPQ(1, pf, q)
+			out = append(out, SurfacePoint{
+				P:       pf,
+				Q:       q,
+				MaxWE:   par.NormalizedMaxWE(),
+				PCDPS:   par.NormalizedPCDPS(),
+				PSWorst: par.NormalizedPSWorst(),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	// Section 4.3: "Assuming that p = 0.1 and q = 50, Max-WE, PCD/PS and
+	// PS-worst can achieve 38.1%, 22.2% and 20.8% of the ideal lifetime."
+	par := FromPQ(1e6, 0.1, 50)
+	approx(t, "MaxWE", par.NormalizedMaxWE(), 0.381, 0.002)
+	approx(t, "PCDPS", par.NormalizedPCDPS(), 0.222, 0.002)
+	approx(t, "PSWorst", par.NormalizedPSWorst(), 0.208, 0.002)
+}
+
+func TestEq5FiftyX(t *testing.T) {
+	// Section 3.1: "If EH is 50 times more than EL, L_UAA will be only
+	// 3.9% of the ideal lifetime."
+	par := FromPQ(1e6, 0, 50)
+	approx(t, "UAARatio(q=50)", par.UAARatio(), 0.039, 0.0005)
+}
+
+func TestIdealDecomposition(t *testing.T) {
+	par := Params{N: 1000, S: 0, EL: 10, EH: 100}
+	// Triangle + rectangle decomposition of Equation 3.
+	want := 1000*(100-10)/2.0 + 1000*10
+	approx(t, "Ideal", par.Ideal(), want, 1e-9)
+	approx(t, "UAA", par.UAA(), 10000, 1e-9)
+}
+
+func TestUAARatioConsistent(t *testing.T) {
+	par := Params{N: 5000, EL: 7, EH: 300}
+	approx(t, "ratio identity", par.UAARatio(), par.UAA()/par.Ideal(), 1e-12)
+}
+
+func TestNoVariationDegenerate(t *testing.T) {
+	// With q = 1 (EH == EL) UAA achieves the ideal lifetime.
+	par := FromPQ(1e5, 0, 1)
+	approx(t, "UAARatio(q=1)", par.UAARatio(), 1, 1e-12)
+}
+
+func TestZeroSpareCollapse(t *testing.T) {
+	// With S = 0 all three protected schemes reduce to the UAA floor.
+	par := FromPQ(1e6, 0, 50)
+	approx(t, "MaxWE(S=0)", par.MaxWE(), par.UAA(), 1e-6)
+	approx(t, "PCDPS(S=0)", par.PCDPS(), par.UAA(), 1e-6)
+	approx(t, "PSWorst(S=0)", par.PSWorst(), par.UAA(), 1e-6)
+}
+
+func TestValidate(t *testing.T) {
+	good := Params{N: 10, S: 1, EL: 1, EH: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 0, S: 0, EL: 1, EH: 2},
+		{N: 10, S: -1, EL: 1, EH: 2},
+		{N: 10, S: 10, EL: 1, EH: 2},
+		{N: 10, S: 1, EL: 0, EH: 2},
+		{N: 10, S: 1, EL: 3, EH: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+}
+
+// Property (the paper's Figure 5 claim): Max-WE always outperforms both
+// PCD/PS and PS-worst across the full plotted domain.
+func TestMaxWEDominatesProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pf := 0.1 + 0.2*float64(a)/65535.0 // p in [0.1, 0.3]
+		q := 10 + 90*float64(b)/65535.0    // q in [10, 100]
+		par := FromPQ(1e6, pf, q)
+		return par.MaxWE() >= par.PCDPS() && par.MaxWE() >= par.PSWorst()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PCD/PS >= PS-worst on the plotted domain (the paper's ordering).
+func TestPCDPSBeatsPSWorstProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pf := 0.1 + 0.2*float64(a)/65535.0
+		q := 10 + 90*float64(b)/65535.0
+		par := FromPQ(1e6, pf, q)
+		return par.PCDPS() >= par.PSWorst()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every scheme's lifetime is bounded by the ideal lifetime and
+// at least the unprotected UAA lifetime... PS-worst can dip toward UAA but
+// never below it for S >= 0.
+func TestLifetimeBoundsProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pf := 0.3 * float64(a) / 65535.0 // p in [0, 0.3]
+		q := 1 + 99*float64(b)/65535.0   // q in [1, 100]
+		par := FromPQ(1e6, pf, q)
+		ideal := par.Ideal()
+		for _, l := range []float64{par.MaxWE(), par.PCDPS(), par.PSWorst()} {
+			if l > ideal+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lifetimes increase monotonically with the spare fraction.
+func TestMonotoneInSpares(t *testing.T) {
+	for q := 10.0; q <= 100; q += 10 {
+		prevM, prevP, prevW := -1.0, -1.0, -1.0
+		for pf := 0.0; pf <= 0.31; pf += 0.01 {
+			par := FromPQ(1e6, pf, q)
+			if par.MaxWE() < prevM || par.PCDPS() < prevP || par.PSWorst() < prevW {
+				t.Fatalf("lifetime decreased when adding spares at p=%v q=%v", pf, q)
+			}
+			prevM, prevP, prevW = par.MaxWE(), par.PCDPS(), par.PSWorst()
+		}
+	}
+}
+
+func TestFig1Series(t *testing.T) {
+	par := FromPQ(1000, 0, 50)
+	s := par.Fig1Series(101)
+	if len(s) != 101 {
+		t.Fatalf("got %d points", len(s))
+	}
+	if s[0].Endurance != par.EH || s[100].Endurance != par.EL {
+		t.Fatalf("series endpoints wrong: %v .. %v", s[0].Endurance, s[100].Endurance)
+	}
+	// Riemann sum over the diagonal must approximate L_ideal / N.
+	sum := 0.0
+	for i := 1; i < len(s); i++ {
+		dx := s[i].LineRank - s[i-1].LineRank
+		sum += dx * (s[i].Endurance + s[i-1].Endurance) / 2
+	}
+	approx(t, "area under diagonal", sum, par.Ideal()/par.N, par.Ideal()/par.N*0.001)
+	// Area under the UAA floor must equal L_UAA / N.
+	approx(t, "UAA floor area", s[0].UAAFloor, par.UAA()/par.N, 1e-9)
+}
+
+func TestFig1SeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fig1Series(1) did not panic")
+		}
+	}()
+	FromPQ(10, 0, 2).Fig1Series(1)
+}
+
+func TestFig5SurfaceShapeAndCorner(t *testing.T) {
+	s := Fig5Surface(0.1, 0.3, 5, 10, 100, 10)
+	if len(s) != 50 {
+		t.Fatalf("surface has %d points, want 50", len(s))
+	}
+	// Find the p=0.1, q=50 column via the paper's corner check.
+	for _, pt := range s {
+		if math.Abs(pt.P-0.1) < 1e-9 && math.Abs(pt.Q-50) < 1e-9 {
+			approx(t, "surface MaxWE@(0.1,50)", pt.MaxWE, 0.381, 0.002)
+			return
+		}
+	}
+	t.Fatal("surface did not sample (p=0.1, q=50)")
+}
+
+func TestFig5SurfacePanics(t *testing.T) {
+	cases := []func(){
+		func() { Fig5Surface(0.1, 0.3, 1, 10, 100, 10) },
+		func() { Fig5Surface(0.1, 0.3, 5, 10, 100, 1) },
+		func() { Fig5Surface(0, 0.3, 5, 10, 100, 5) },
+		func() { Fig5Surface(0.3, 0.1, 5, 10, 100, 5) },
+		func() { Fig5Surface(0.1, 0.3, 5, 0.5, 100, 5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromPQ(t *testing.T) {
+	par := FromPQ(1000, 0.25, 40)
+	if par.N != 1000 || par.S != 250 || par.EL != 1 || par.EH != 40 {
+		t.Fatalf("FromPQ produced %+v", par)
+	}
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

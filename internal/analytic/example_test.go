@@ -1,0 +1,30 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/analytic"
+)
+
+// Reproduce the paper's Section 4.3 headline: at a 10% spare budget and
+// 50x endurance variation, Max-WE achieves 38.1% of the ideal lifetime
+// against 22.2% for PCD/PS and 20.8% for the PS worst case.
+func Example() {
+	par := analytic.FromPQ(1e6, 0.1, 50)
+	fmt.Printf("max-we   %.1f%%\n", par.NormalizedMaxWE()*100)
+	fmt.Printf("pcd/ps   %.1f%%\n", par.NormalizedPCDPS()*100)
+	fmt.Printf("ps-worst %.1f%%\n", par.NormalizedPSWorst()*100)
+	// Output:
+	// max-we   38.1%
+	// pcd/ps   22.2%
+	// ps-worst 20.8%
+}
+
+// Equation 5: with EH = 50x EL, the uniform address attack reduces the
+// device to 3.9% of its ideal lifetime.
+func ExampleParams_UAARatio() {
+	par := analytic.FromPQ(1e6, 0, 50)
+	fmt.Printf("%.1f%%\n", par.UAARatio()*100)
+	// Output:
+	// 3.9%
+}

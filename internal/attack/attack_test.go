@@ -1,0 +1,299 @@
+package attack
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestUAASequentialAndUniform(t *testing.T) {
+	a := NewUAA()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			if got := a.Next(10); got != i {
+				t.Fatalf("round %d: Next = %d, want %d", round, got, i)
+			}
+		}
+	}
+}
+
+func TestUAAShrinkingSpace(t *testing.T) {
+	a := NewUAA()
+	for i := 0; i < 7; i++ {
+		a.Next(10)
+	}
+	// Space shrinks to 5; the cursor (7) must wrap, not panic.
+	if got := a.Next(5); got != 0 {
+		t.Fatalf("after shrink Next = %d, want 0", got)
+	}
+	if got := a.Next(5); got != 1 {
+		t.Fatalf("Next = %d, want 1", got)
+	}
+}
+
+func TestUAACoverageIsExact(t *testing.T) {
+	a := NewUAA()
+	counts := make([]int, 16)
+	for i := 0; i < 16*5; i++ {
+		counts[a.Next(16)]++
+	}
+	for l, c := range counts {
+		if c != 5 {
+			t.Fatalf("line %d written %d times, want exactly 5", l, c)
+		}
+	}
+}
+
+func TestPartialUAAStaysInCoverage(t *testing.T) {
+	a := NewPartialUAA(0.5)
+	if a.Coverage() != 0.5 {
+		t.Fatal("Coverage accessor wrong")
+	}
+	seen := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		seen[a.Next(100)]++
+	}
+	for addr, c := range seen {
+		if addr >= 50 {
+			t.Fatalf("address %d outside the 50%% coverage", addr)
+		}
+		if c != 20 {
+			t.Fatalf("address %d written %d times, want uniform 20", addr, c)
+		}
+	}
+	if len(seen) != 50 {
+		t.Fatalf("covered %d addresses, want 50", len(seen))
+	}
+}
+
+func TestPartialUAAFullCoverageMatchesUAA(t *testing.T) {
+	p, u := NewPartialUAA(1.0), NewUAA()
+	for i := 0; i < 50; i++ {
+		if p.Next(16) != u.Next(16) {
+			t.Fatalf("full-coverage PartialUAA diverged from UAA at %d", i)
+		}
+	}
+}
+
+func TestPartialUAATinySpace(t *testing.T) {
+	a := NewPartialUAA(0.01)
+	// Coverage rounds down to zero lines; at least one line must still
+	// be attacked.
+	for i := 0; i < 10; i++ {
+		if a.Next(10) != 0 {
+			t.Fatal("tiny coverage escaped line 0")
+		}
+	}
+}
+
+func TestPartialUAAPanics(t *testing.T) {
+	for _, c := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("coverage %v accepted", c)
+				}
+			}()
+			NewPartialUAA(c)
+		}()
+	}
+}
+
+func TestBPAHammersSmallSet(t *testing.T) {
+	a := NewBPA(4, 0, xrand.New(3))
+	seen := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		seen[a.Next(1000)]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("BPA touched %d addresses, want 4", len(seen))
+	}
+	for addr, c := range seen {
+		if c != 1000 {
+			t.Fatalf("victim %d written %d times, want 1000 (round-robin)", addr, c)
+		}
+	}
+}
+
+func TestBPARepick(t *testing.T) {
+	a := NewBPA(4, 100, xrand.New(4))
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[a.Next(100000)] = true
+	}
+	// 100 repicks of 4 victims over a huge space: far more than 4
+	// distinct addresses.
+	if len(seen) < 50 {
+		t.Fatalf("repick produced only %d distinct victims", len(seen))
+	}
+}
+
+func TestBPASetLargerThanSpace(t *testing.T) {
+	a := NewBPA(64, 0, xrand.New(5))
+	for i := 0; i < 100; i++ {
+		v := a.Next(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("victim %d out of shrunken space", v)
+		}
+	}
+}
+
+func TestBPADeterministic(t *testing.T) {
+	a := NewBPA(8, 50, xrand.New(77))
+	b := NewBPA(8, 50, xrand.New(77))
+	for i := 0; i < 500; i++ {
+		if a.Next(1000) != b.Next(1000) {
+			t.Fatalf("BPA streams diverged at %d", i)
+		}
+	}
+}
+
+func TestBPAPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBPA(0, 0, xrand.New(1)) },
+		func() { NewBPA(1, -1, xrand.New(1)) },
+		func() { NewBPA(1, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTargetedSweep(t *testing.T) {
+	a := NewTargetedSweep([]int{5, 9, 2})
+	got := []int{a.Next(100), a.Next(100), a.Next(100), a.Next(100)}
+	want := []int{5, 9, 2, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+	// Shrunken space folds targets.
+	if v := a.Next(4); v != 9%4 {
+		t.Fatalf("folded target = %d, want 1", v)
+	}
+}
+
+func TestTargetedSweepCopiesInput(t *testing.T) {
+	targets := []int{1, 2}
+	a := NewTargetedSweep(targets)
+	targets[0] = 99
+	if a.Next(100) != 1 {
+		t.Fatal("NewTargetedSweep aliased its input")
+	}
+}
+
+func TestTargetedSweepPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTargetedSweep(nil) },
+		func() { NewTargetedSweep([]int{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRepeated(t *testing.T) {
+	a := NewRepeated(42)
+	for i := 0; i < 10; i++ {
+		if a.Next(100) != 42 {
+			t.Fatal("Repeated wandered")
+		}
+	}
+	// Shrunken space folds the address.
+	if a.Next(10) != 2 {
+		t.Fatalf("folded address = %d, want 2", a.Next(10))
+	}
+}
+
+func TestRepeatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRepeated(-1)
+}
+
+func TestHotColdSkew(t *testing.T) {
+	a := NewHotCold(1000, 1.2, xrand.New(6))
+	counts := map[int]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[a.Next(1000)]++
+	}
+	// The hottest address must take far more than the uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < draws/100 {
+		t.Fatalf("hottest line got %d writes, want skew over uniform %d", max, draws/1000)
+	}
+}
+
+func TestHotColdInRange(t *testing.T) {
+	a := NewHotCold(100, 1.0, xrand.New(7))
+	for i := 0; i < 1000; i++ {
+		if v := a.Next(50); v < 0 || v >= 50 {
+			t.Fatalf("HotCold escaped the shrunken space: %d", v)
+		}
+	}
+}
+
+func TestRandomUniformInRange(t *testing.T) {
+	a := NewRandomUniform(xrand.New(8))
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[a.Next(8)]++
+	}
+	for l, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("line %d count %d far from uniform", l, c)
+		}
+	}
+}
+
+func TestNextPanicsOnBadSpace(t *testing.T) {
+	attacks := []Attack{
+		NewUAA(),
+		NewBPA(2, 0, xrand.New(1)),
+		NewRepeated(0),
+		NewHotCold(10, 1, xrand.New(1)),
+		NewRandomUniform(xrand.New(1)),
+	}
+	for _, a := range attacks {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s.Next(0) did not panic", a.Name())
+				}
+			}()
+			a.Next(0)
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewUAA().Name() != "uaa" ||
+		NewBPA(1, 0, xrand.New(1)).Name() != "bpa" ||
+		NewRepeated(0).Name() != "repeated" ||
+		NewHotCold(2, 1, xrand.New(1)).Name() != "hotcold" ||
+		NewRandomUniform(xrand.New(1)).Name() != "random" {
+		t.Fatal("attack names wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package bank
+
+import (
+	"math"
+	"testing"
+
+	"maxwe/internal/endurance"
+	"maxwe/internal/sim"
+	"maxwe/internal/spare"
+	"maxwe/internal/xrand"
+)
+
+func newBank(t *testing.T, seed uint64) *sim.Stepper {
+	t.Helper()
+	p := endurance.Linear(16, 8, 20, 1000).Shuffled(xrand.New(seed))
+	st, err := sim.NewStepper(sim.Config{
+		Profile: p,
+		Scheme:  spare.NewMaxWE(p, spare.DefaultMaxWEOptions()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newArray(t *testing.T, banks int) *Array {
+	t.Helper()
+	bs := make([]*sim.Stepper, banks)
+	for i := range bs {
+		bs[i] = newBank(t, uint64(i+1))
+	}
+	a, err := New(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty bank list accepted")
+	}
+	if _, err := New([]*sim.Stepper{nil}); err == nil {
+		t.Fatal("nil bank accepted")
+	}
+}
+
+func TestInterleaving(t *testing.T) {
+	a := newArray(t, 4)
+	if a.Banks() != 4 {
+		t.Fatal("bank count wrong")
+	}
+	perBank := a.LogicalLines() / 4
+	if perBank == 0 {
+		t.Fatal("degenerate interleave")
+	}
+	// Writing addresses 0..3 touches each bank once: per-bank user
+	// writes must each be 1.
+	for i := 0; i < 4; i++ {
+		if !a.Write(i) {
+			t.Fatal("early failure")
+		}
+	}
+	for i, r := range a.BankResults() {
+		if r.UserWrites != 1 {
+			t.Fatalf("bank %d served %d writes, want 1", i, r.UserWrites)
+		}
+	}
+}
+
+func TestUAAOverArrayMatchesSingleBankNormalized(t *testing.T) {
+	// A uniform sweep over the interleaved space is a uniform sweep over
+	// every bank, so the array's normalized lifetime must match a single
+	// bank's within a few percent.
+	single := newBank(t, 1)
+	lla := 0
+	for single.Write(lla) {
+		lla = (lla + 1) % single.LogicalLines()
+	}
+	want := single.Result().NormalizedLifetime
+
+	a := newArray(t, 4)
+	addr := 0
+	for a.Write(addr) {
+		addr = (addr + 1) % a.LogicalLines()
+	}
+	got := a.NormalizedLifetime()
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("array normalized lifetime %v vs single bank %v", got, want)
+	}
+	if !a.Failed() {
+		t.Fatal("array did not fail")
+	}
+}
+
+func TestFailureStopsArray(t *testing.T) {
+	a := newArray(t, 2)
+	for a.Write(0) {
+	}
+	if !a.Failed() {
+		t.Fatal("array not failed")
+	}
+	if a.Write(1) {
+		t.Fatal("write accepted after failure")
+	}
+}
+
+func TestAddressFolding(t *testing.T) {
+	a := newArray(t, 2)
+	if !a.Write(a.LogicalLines() + 3) {
+		t.Fatal("folded write failed")
+	}
+	if a.UserWrites() != 1 {
+		t.Fatalf("UserWrites = %d", a.UserWrites())
+	}
+}
+
+func TestNegativeAddressPanics(t *testing.T) {
+	a := newArray(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Write(-1)
+}

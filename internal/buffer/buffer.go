@@ -1,0 +1,128 @@
+// Package buffer models the small off-chip DRAM last-level buffer of
+// Section 3.3.2: a set-associative write-back cache in front of the
+// NVM-based main memory. Its purpose here is to demonstrate the paper's
+// vulnerability argument: the buffer absorbs hot/cold traffic but is
+// useless against UAA's uniform sweep, whose working set exceeds any
+// realistic buffer and turns every write into a miss plus a dirty
+// eviction.
+package buffer
+
+// Cache is a set-associative write-back cache over line addresses.
+// Construct with New; the zero value is not usable.
+type Cache struct {
+	sets int
+	ways int
+	// tags[set][way] holds the cached line address, -1 when invalid.
+	tags [][]int
+	// dirty[set][way] marks lines needing write-back on eviction.
+	dirty [][]bool
+	// lru[set][way] holds recency counters (higher = more recent).
+	lru   [][]int64
+	clock int64
+
+	hits       int64
+	misses     int64
+	writeBacks int64
+}
+
+// New builds a cache with the given number of sets and ways. Both must be
+// positive; sets should be a power of two for uniform indexing but any
+// positive value works (modulo indexing).
+func New(sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic("buffer: New needs positive sets and ways")
+	}
+	c := &Cache{sets: sets, ways: ways}
+	c.tags = make([][]int, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]int64, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]int, ways)
+		c.dirty[s] = make([]bool, ways)
+		c.lru[s] = make([]int64, ways)
+		for w := 0; w < ways; w++ {
+			c.tags[s][w] = -1
+		}
+	}
+	return c
+}
+
+// Capacity returns the number of lines the cache can hold.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+// Write inserts line into the cache, marking it dirty. If the insertion
+// evicts a dirty victim, Write returns that victim's address and true —
+// the caller must perform the NVM write-back. Clean evictions and hits
+// return (0, false).
+func (c *Cache) Write(line int) (evicted int, writeBack bool) {
+	if line < 0 {
+		panic("buffer: negative line address")
+	}
+	set := line % c.sets
+	c.clock++
+	// Hit?
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == line {
+			c.hits++
+			c.dirty[set][w] = true
+			c.lru[set][w] = c.clock
+			return 0, false
+		}
+	}
+	c.misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == -1 {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	evictedLine := c.tags[set][victim]
+	evictedDirty := c.dirty[set][victim] && evictedLine != -1
+	c.tags[set][victim] = line
+	c.dirty[set][victim] = true
+	c.lru[set][victim] = c.clock
+	if evictedDirty {
+		c.writeBacks++
+		return evictedLine, true
+	}
+	return 0, false
+}
+
+// Flush evicts every dirty line and returns their addresses (the caller
+// performs the write-backs). The cache is left clean but still populated.
+func (c *Cache) Flush() []int {
+	var out []int
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			if c.tags[s][w] != -1 && c.dirty[s][w] {
+				out = append(out, c.tags[s][w])
+				c.dirty[s][w] = false
+				c.writeBacks++
+			}
+		}
+	}
+	return out
+}
+
+// Hits returns the number of write hits.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of write misses.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// WriteBacks returns the number of dirty evictions (including Flush).
+func (c *Cache) WriteBacks() int64 { return c.writeBacks }
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,146 @@
+package buffer
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestHitOnRewrite(t *testing.T) {
+	c := New(4, 2)
+	if _, wb := c.Write(5); wb {
+		t.Fatal("cold write caused write-back")
+	}
+	if _, wb := c.Write(5); wb {
+		t.Fatal("hit caused write-back")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := New(1, 2) // fully associative, 2 entries, one set
+	c.Write(0)
+	c.Write(1)
+	// Third distinct line evicts the LRU dirty line 0.
+	ev, wb := c.Write(2)
+	if !wb || ev != 0 {
+		t.Fatalf("eviction = (%d,%v), want (0,true)", ev, wb)
+	}
+	if c.WriteBacks() != 1 {
+		t.Fatalf("WriteBacks = %d", c.WriteBacks())
+	}
+}
+
+func TestLRUOrderRespectsRecency(t *testing.T) {
+	c := New(1, 2)
+	c.Write(0)
+	c.Write(1)
+	c.Write(0) // refresh 0; LRU is now 1
+	ev, wb := c.Write(2)
+	if !wb || ev != 1 {
+		t.Fatalf("evicted %d, want 1 (LRU)", ev)
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	c := New(4, 1)
+	// Lines 0 and 4 collide in set 0; lines 1,2,3 do not interfere.
+	c.Write(0)
+	c.Write(1)
+	c.Write(2)
+	c.Write(3)
+	ev, wb := c.Write(4)
+	if !wb || ev != 0 {
+		t.Fatalf("set collision evicted (%d,%v), want (0,true)", ev, wb)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(2, 2)
+	c.Write(0)
+	c.Write(1)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("Flush returned %d lines, want 2", len(dirty))
+	}
+	// Second flush: nothing dirty.
+	if len(c.Flush()) != 0 {
+		t.Fatal("double flush returned lines")
+	}
+	// Lines are still cached: rewriting hits.
+	if _, wb := c.Write(0); wb {
+		t.Fatal("post-flush rewrite missed")
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("hits = %d", c.Hits())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(2, 2)
+	if c.HitRate() != 0 {
+		t.Fatal("fresh cache hit rate nonzero")
+	}
+	c.Write(7)
+	c.Write(7)
+	c.Write(7)
+	c.Write(8)
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(1, 0) },
+		func() { New(1, 1).Write(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The paper's Section 3.3.2 argument, quantified: a buffer that absorbs a
+// Zipf workload is useless against UAA.
+func TestUAADefeatsBufferHotColdDoesNot(t *testing.T) {
+	const memLines = 4096
+	cacheLines := 256 // 1/16 of memory
+	// Hot/cold: Zipf(1.2) concentrates on few lines -> high hit rate.
+	hot := New(cacheLines/8, 8)
+	z := xrand.NewZipf(memLines, 1.2)
+	src := xrand.New(3)
+	for i := 0; i < 100000; i++ {
+		hot.Write(z.Draw(src))
+	}
+	if hot.HitRate() < 0.5 {
+		t.Fatalf("hot/cold hit rate = %v, expected locality capture", hot.HitRate())
+	}
+	// UAA: sequential sweep of all lines -> every access misses after
+	// warmup.
+	uaa := New(cacheLines/8, 8)
+	for i := 0; i < 100000; i++ {
+		uaa.Write(i % memLines)
+	}
+	if uaa.HitRate() > 0.01 {
+		t.Fatalf("UAA hit rate = %v, expected ~0", uaa.HitRate())
+	}
+	// And nearly every miss causes an NVM write-back once warm.
+	if float64(uaa.WriteBacks()) < 0.9*float64(uaa.Misses()) {
+		t.Fatalf("write-backs %d ≪ misses %d", uaa.WriteBacks(), uaa.Misses())
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	if New(8, 4).Capacity() != 32 {
+		t.Fatal("capacity wrong")
+	}
+}

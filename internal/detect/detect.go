@@ -1,0 +1,207 @@
+// Package detect implements an online write-pattern monitor — a natural
+// extension of the paper's threat analysis. The memory controller
+// observes the logical write stream and classifies it:
+//
+//   - UAA-like: long sequential sweeps covering the whole space (the
+//     paper's uniform address attack has a perfectly sequential
+//     signature);
+//   - hammer-like: a tiny set of addresses absorbing most writes (the
+//     repeated-address and birthday-paradox attacks);
+//   - benign: everything else (locality-rich workloads are neither
+//     mostly-sequential nor concentrated on a handful of lines once a
+//     DRAM buffer has absorbed the hottest traffic).
+//
+// Detection is windowed: the monitor keeps the last WindowSize addresses
+// and evaluates two statistics per window — the sequential-successor rate
+// and the top-K concentration. The paper's defense (Max-WE) is static; a
+// detector enables complementary dynamic responses such as write
+// throttling, which the example in examples/attackstudy discusses.
+package detect
+
+import "fmt"
+
+// Verdict classifies a write-stream window.
+type Verdict int
+
+const (
+	// Benign means no attack signature crossed its threshold.
+	Benign Verdict = iota
+	// UAALike means the window is dominated by sequential sweeps.
+	UAALike
+	// HammerLike means a few addresses dominate the window.
+	HammerLike
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Benign:
+		return "benign"
+	case UAALike:
+		return "uaa-like"
+	case HammerLike:
+		return "hammer-like"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Config tunes the monitor. Zero values select the defaults.
+type Config struct {
+	// WindowSize is the number of recent writes per evaluation window
+	// (default 1024).
+	WindowSize int
+	// SequentialThreshold flags UAA when the fraction of writes whose
+	// address is exactly predecessor+1 exceeds it (default 0.9).
+	SequentialThreshold float64
+	// ConcentrationK and ConcentrationThreshold flag hammering when the
+	// K most frequent addresses absorb more than the threshold fraction
+	// of the window (defaults 32 and 0.8).
+	ConcentrationK         int
+	ConcentrationThreshold float64
+}
+
+func (c *Config) setDefaults() {
+	if c.WindowSize == 0 {
+		c.WindowSize = 1024
+	}
+	if c.SequentialThreshold == 0 {
+		c.SequentialThreshold = 0.9
+	}
+	if c.ConcentrationK == 0 {
+		c.ConcentrationK = 32
+	}
+	if c.ConcentrationThreshold == 0 {
+		c.ConcentrationThreshold = 0.8
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.WindowSize < 2:
+		return fmt.Errorf("detect: window size %d too small", c.WindowSize)
+	case c.SequentialThreshold <= 0 || c.SequentialThreshold > 1:
+		return fmt.Errorf("detect: sequential threshold %v outside (0,1]", c.SequentialThreshold)
+	case c.ConcentrationK < 1:
+		return fmt.Errorf("detect: concentration K %d must be positive", c.ConcentrationK)
+	case c.ConcentrationThreshold <= 0 || c.ConcentrationThreshold > 1:
+		return fmt.Errorf("detect: concentration threshold %v outside (0,1]", c.ConcentrationThreshold)
+	}
+	return nil
+}
+
+// Monitor observes a write-address stream and produces a verdict per
+// window.
+type Monitor struct {
+	cfg Config
+
+	prev       int
+	havePrev   bool
+	sequential int
+	counts     map[int]int
+	seen       int
+
+	verdict      Verdict
+	windowsTotal int64
+	flagged      int64
+}
+
+// NewMonitor builds a monitor. Zero-valued config fields pick defaults.
+func NewMonitor(cfg Config) (*Monitor, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg, counts: make(map[int]int)}, nil
+}
+
+// Observe feeds one write address. It returns the verdict of the window
+// that this write completed, or (Benign, false) mid-window.
+func (m *Monitor) Observe(addr int) (Verdict, bool) {
+	if m.havePrev && addr == m.prev+1 {
+		m.sequential++
+	}
+	m.prev = addr
+	m.havePrev = true
+	m.counts[addr]++
+	m.seen++
+	if m.seen < m.cfg.WindowSize {
+		return Benign, false
+	}
+	v := m.evaluate()
+	m.reset()
+	m.verdict = v
+	m.windowsTotal++
+	if v != Benign {
+		m.flagged++
+	}
+	return v, true
+}
+
+func (m *Monitor) evaluate() Verdict {
+	window := float64(m.seen)
+	if float64(m.sequential)/window >= m.cfg.SequentialThreshold {
+		return UAALike
+	}
+	// Top-K concentration without a full sort: selection over counts.
+	top := topK(m.counts, m.cfg.ConcentrationK)
+	if float64(top)/window >= m.cfg.ConcentrationThreshold {
+		return HammerLike
+	}
+	return Benign
+}
+
+// topK sums the k largest values of counts.
+func topK(counts map[int]int, k int) int {
+	if len(counts) <= k {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total
+	}
+	// Maintain a small min-heap-ish slice; k is small (default 32).
+	best := make([]int, 0, k)
+	for _, c := range counts {
+		if len(best) < k {
+			best = append(best, c)
+			continue
+		}
+		mi := 0
+		for i, b := range best {
+			if b < best[mi] {
+				mi = i
+			}
+		}
+		if c > best[mi] {
+			best[mi] = c
+		}
+	}
+	total := 0
+	for _, b := range best {
+		total += b
+	}
+	return total
+}
+
+func (m *Monitor) reset() {
+	m.sequential = 0
+	m.seen = 0
+	m.havePrev = false
+	for k := range m.counts {
+		delete(m.counts, k)
+	}
+}
+
+// Verdict returns the most recent completed window's verdict.
+func (m *Monitor) Verdict() Verdict { return m.verdict }
+
+// FlaggedRate returns the fraction of completed windows flagged as an
+// attack (0 before any window completes).
+func (m *Monitor) FlaggedRate() float64 {
+	if m.windowsTotal == 0 {
+		return 0
+	}
+	return float64(m.flagged) / float64(m.windowsTotal)
+}
+
+// Windows returns the number of completed windows.
+func (m *Monitor) Windows() int64 { return m.windowsTotal }

@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"testing"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/xrand"
+)
+
+func mustMonitor(t *testing.T, cfg Config) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDetectsUAA(t *testing.T) {
+	m := mustMonitor(t, Config{})
+	a := attack.NewUAA()
+	const space = 1 << 16
+	for i := 0; i < 3000; i++ {
+		if v, done := m.Observe(a.Next(space)); done && v != UAALike {
+			t.Fatalf("window %d verdict %v, want uaa-like", m.Windows(), v)
+		}
+	}
+	if m.Windows() == 0 {
+		t.Fatal("no window completed")
+	}
+	if m.Verdict() != UAALike {
+		t.Fatalf("final verdict %v", m.Verdict())
+	}
+}
+
+func TestDetectsHammer(t *testing.T) {
+	m := mustMonitor(t, Config{})
+	a := attack.DefaultBPA(xrand.New(1))
+	for i := 0; i < 3000; i++ {
+		m.Observe(a.Next(1 << 16))
+	}
+	if m.Verdict() != HammerLike {
+		t.Fatalf("BPA verdict %v, want hammer-like", m.Verdict())
+	}
+
+	m2 := mustMonitor(t, Config{})
+	rep := attack.NewRepeated(42)
+	for i := 0; i < 3000; i++ {
+		m2.Observe(rep.Next(1 << 16))
+	}
+	if m2.Verdict() != HammerLike {
+		t.Fatalf("repeated-address verdict %v, want hammer-like", m2.Verdict())
+	}
+}
+
+func TestBenignZipfNotFlagged(t *testing.T) {
+	m := mustMonitor(t, Config{})
+	a := attack.NewHotCold(1<<16, 1.1, xrand.New(2))
+	for i := 0; i < 20000; i++ {
+		m.Observe(a.Next(1 << 16))
+	}
+	if m.Windows() < 10 {
+		t.Fatalf("only %d windows completed", m.Windows())
+	}
+	if rate := m.FlaggedRate(); rate > 0.05 {
+		t.Fatalf("benign Zipf flagged in %.0f%% of windows", rate*100)
+	}
+}
+
+func TestBenignRandomNotFlagged(t *testing.T) {
+	m := mustMonitor(t, Config{})
+	a := attack.NewRandomUniform(xrand.New(3))
+	for i := 0; i < 20000; i++ {
+		m.Observe(a.Next(1 << 16))
+	}
+	if rate := m.FlaggedRate(); rate > 0.05 {
+		t.Fatalf("uniform-random stream flagged in %.0f%% of windows", rate*100)
+	}
+}
+
+func TestDetectionLatencyOneWindow(t *testing.T) {
+	m := mustMonitor(t, Config{WindowSize: 256})
+	a := attack.NewUAA()
+	for i := 1; i <= 256; i++ {
+		v, done := m.Observe(a.Next(1 << 12))
+		if done {
+			if i != 256 {
+				t.Fatalf("window completed at write %d", i)
+			}
+			if v != UAALike {
+				t.Fatalf("first-window verdict %v", v)
+			}
+			return
+		}
+	}
+	t.Fatal("window never completed")
+}
+
+func TestVerdictString(t *testing.T) {
+	if Benign.String() != "benign" || UAALike.String() != "uaa-like" ||
+		HammerLike.String() != "hammer-like" {
+		t.Fatal("verdict strings wrong")
+	}
+	if Verdict(99).String() != "verdict(99)" {
+		t.Fatal("unknown verdict string wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{WindowSize: 1},
+		{SequentialThreshold: 1.5},
+		{SequentialThreshold: -0.1, WindowSize: 10},
+		{ConcentrationK: -1},
+		{ConcentrationThreshold: 2},
+	}
+	for i, c := range bad {
+		if _, err := NewMonitor(c); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	// Defaults applied for zero values.
+	m := mustMonitor(t, Config{})
+	if m.cfg.WindowSize != 1024 || m.cfg.ConcentrationK != 32 {
+		t.Fatalf("defaults not applied: %+v", m.cfg)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	counts := map[int]int{1: 10, 2: 5, 3: 20, 4: 1}
+	if got := topK(counts, 2); got != 30 {
+		t.Fatalf("topK(2) = %d, want 30", got)
+	}
+	if got := topK(counts, 10); got != 36 {
+		t.Fatalf("topK(all) = %d, want 36", got)
+	}
+}
+
+func TestFlaggedRateBeforeWindows(t *testing.T) {
+	m := mustMonitor(t, Config{})
+	if m.FlaggedRate() != 0 {
+		t.Fatal("flagged rate nonzero before any window")
+	}
+}

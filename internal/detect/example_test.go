@@ -1,0 +1,26 @@
+package detect_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/detect"
+)
+
+// Feed a uniform sweep to the monitor: the first completed window is
+// flagged as uaa-like.
+func ExampleMonitor() {
+	m, err := detect.NewMonitor(detect.Config{WindowSize: 256})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a := attack.NewUAA()
+	for i := 0; i < 256; i++ {
+		if v, done := m.Observe(a.Next(1 << 16)); done {
+			fmt.Println("verdict:", v)
+		}
+	}
+	// Output:
+	// verdict: uaa-like
+}

@@ -1,0 +1,69 @@
+// boost.go connects the ECP correction model to the endurance model: a
+// line built from many cells fails when its (k+1)-th cell fails, so ECP-k
+// turns a line's endurance from the minimum cell endurance into the
+// (k+1)-th order statistic of the cell endurances. This is how the
+// salvaging baseline of Section 2.2.2 is evaluated against (and combined
+// with) spare-line replacement.
+package ecp
+
+import (
+	"math"
+	"sort"
+
+	"maxwe/internal/endurance"
+	"maxwe/internal/xrand"
+)
+
+// LineEnduranceWithECP returns the write count at which a line with the
+// given per-cell endurances fails under ECP-k: the (k+1)-th smallest cell
+// endurance (the budget runs out on the k+1-th cell failure). If k >=
+// len(cells)-1 the line survives until its strongest cell dies. The input
+// slice is not modified.
+func LineEnduranceWithECP(cells []int64, k int) int64 {
+	if len(cells) == 0 {
+		panic("ecp: LineEnduranceWithECP needs at least one cell")
+	}
+	if k < 0 {
+		panic("ecp: LineEnduranceWithECP needs non-negative k")
+	}
+	s := append([]int64(nil), cells...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	idx := k
+	if idx > len(s)-1 {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// BoostProfile derives an ECP-k line-endurance profile from a nominal
+// profile: each line's budget is re-derived from cellsPerLine simulated
+// cells whose endurance is the line's nominal value scaled by a lognormal
+// factor with sigma cellSigma, then corrected by k pointers. With k = 0
+// the result is *weaker* than the nominal profile (the weakest cell kills
+// the line); increasing k recovers and then exceeds the nominal budget —
+// the classic ECP benefit curve.
+func BoostProfile(p *endurance.Profile, cellsPerLine, k int, cellSigma float64, src *xrand.Source) *endurance.Profile {
+	if cellsPerLine < 1 {
+		panic("ecp: BoostProfile needs at least one cell per line")
+	}
+	if cellSigma < 0 {
+		panic("ecp: BoostProfile needs non-negative cellSigma")
+	}
+	if src == nil {
+		panic("ecp: BoostProfile needs a randomness source")
+	}
+	lines := make([]int64, p.Lines())
+	cells := make([]int64, cellsPerLine)
+	for i := range lines {
+		nominal := float64(p.LineEndurance(i))
+		for c := range cells {
+			e := nominal * math.Exp(cellSigma*src.NormFloat64())
+			if e < 1 {
+				e = 1
+			}
+			cells[c] = int64(e)
+		}
+		lines[i] = LineEnduranceWithECP(cells, k)
+	}
+	return endurance.FromLines(p.LinesPerRegion(), lines)
+}

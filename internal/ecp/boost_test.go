@@ -1,0 +1,107 @@
+package ecp
+
+import (
+	"testing"
+
+	"maxwe/internal/endurance"
+	"maxwe/internal/xrand"
+)
+
+func TestLineEnduranceWithECPOrderStatistic(t *testing.T) {
+	cells := []int64{50, 10, 40, 30, 20}
+	if got := LineEnduranceWithECP(cells, 0); got != 10 {
+		t.Fatalf("k=0: %d, want weakest cell 10", got)
+	}
+	if got := LineEnduranceWithECP(cells, 2); got != 30 {
+		t.Fatalf("k=2: %d, want 3rd weakest 30", got)
+	}
+	if got := LineEnduranceWithECP(cells, 10); got != 50 {
+		t.Fatalf("k>=cells: %d, want strongest 50", got)
+	}
+	// Input not mutated.
+	if cells[0] != 50 || cells[1] != 10 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestLineEnduranceWithECPPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LineEnduranceWithECP(nil, 0) },
+		func() { LineEnduranceWithECP([]int64{1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBoostProfileMonotoneInK(t *testing.T) {
+	base := endurance.Uniform(8, 8, 1000)
+	prevMean := 0.0
+	for k := 0; k <= 6; k += 2 {
+		b := BoostProfile(base, 64, k, 0.25, xrand.New(7))
+		if b.Lines() != base.Lines() {
+			t.Fatal("boosted profile shape changed")
+		}
+		mean := b.Mean()
+		if mean <= prevMean {
+			t.Fatalf("k=%d mean %v not above k-2 mean %v", k, mean, prevMean)
+		}
+		prevMean = mean
+	}
+}
+
+func TestBoostProfileK0Weaker(t *testing.T) {
+	base := endurance.Uniform(4, 16, 1000)
+	b := BoostProfile(base, 64, 0, 0.25, xrand.New(8))
+	// With 64 cells and no correction, the weakest cell governs: the
+	// boosted mean must fall well below nominal.
+	if b.Mean() >= base.Mean()*0.9 {
+		t.Fatalf("k=0 mean %v not clearly below nominal %v", b.Mean(), base.Mean())
+	}
+}
+
+func TestBoostProfileZeroSigmaIdentity(t *testing.T) {
+	base := endurance.Linear(4, 8, 100, 1000)
+	b := BoostProfile(base, 16, 3, 0, xrand.New(9))
+	for i := 0; i < base.Lines(); i++ {
+		if b.LineEndurance(i) != base.LineEndurance(i) {
+			t.Fatalf("line %d changed with zero cell variation", i)
+		}
+	}
+}
+
+func TestBoostProfileDeterministic(t *testing.T) {
+	base := endurance.Uniform(2, 8, 500)
+	a := BoostProfile(base, 32, 2, 0.2, xrand.New(10))
+	b := BoostProfile(base, 32, 2, 0.2, xrand.New(10))
+	for i := 0; i < a.Lines(); i++ {
+		if a.LineEndurance(i) != b.LineEndurance(i) {
+			t.Fatal("BoostProfile not deterministic")
+		}
+	}
+}
+
+func TestBoostProfilePanics(t *testing.T) {
+	base := endurance.Uniform(2, 2, 10)
+	for _, f := range []func(){
+		func() { BoostProfile(base, 0, 1, 0.1, xrand.New(1)) },
+		func() { BoostProfile(base, 4, -1, 0.1, xrand.New(1)) },
+		func() { BoostProfile(base, 4, 1, -0.1, xrand.New(1)) },
+		func() { BoostProfile(base, 4, 1, 0.1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,88 @@
+// Package ecp models Error-Correcting Pointers (Schechter et al.,
+// ISCA'10), the salvaging baseline of Section 2.2.2: each line carries k
+// replacement pointers, each able to permanently repair one failed bit
+// cell. A line survives up to k cell failures and dies on the (k+1)-th.
+//
+// The paper's argument against relying on salvaging alone: under
+// endurance-variation-aware attacks, hundreds of cells of a weak line can
+// fail close together, exceeding any per-line correction budget. The
+// package exposes the per-line budget and the canonical storage-overhead
+// figure (ECP-6 costs 11.9% for 512-bit lines).
+package ecp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Corrector tracks per-line ECP budgets.
+type Corrector struct {
+	k      int
+	failed []int
+	dead   int
+}
+
+// New builds a corrector for lines lines with k pointers per line.
+func New(lines, k int) *Corrector {
+	if lines <= 0 {
+		panic("ecp: New needs positive line count")
+	}
+	if k < 0 {
+		panic("ecp: New needs non-negative k")
+	}
+	return &Corrector{k: k, failed: make([]int, lines)}
+}
+
+// K returns the per-line pointer budget.
+func (c *Corrector) K() int { return c.k }
+
+// FailCell records one cell failure in line and reports whether the line
+// is still correctable. The failure that exceeds the budget kills the
+// line; further failures on a dead line keep reporting false.
+func (c *Corrector) FailCell(line int) bool {
+	if line < 0 || line >= len(c.failed) {
+		panic(fmt.Sprintf("ecp: line %d out of range [0,%d)", line, len(c.failed)))
+	}
+	c.failed[line]++
+	if c.failed[line] == c.k+1 {
+		c.dead++
+	}
+	return c.failed[line] <= c.k
+}
+
+// FailedCells returns the number of recorded cell failures in line.
+func (c *Corrector) FailedCells(line int) int {
+	if line < 0 || line >= len(c.failed) {
+		panic(fmt.Sprintf("ecp: line %d out of range [0,%d)", line, len(c.failed)))
+	}
+	return c.failed[line]
+}
+
+// Remaining returns how many more failures line can absorb (zero when
+// dead).
+func (c *Corrector) Remaining(line int) int {
+	r := c.k - c.FailedCells(line)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// DeadLines returns the number of lines beyond repair.
+func (c *Corrector) DeadLines() int { return c.dead }
+
+// Overhead returns the storage cost of ECP-k on lines of lineBits data
+// bits, as a fraction of the data size: k pointers of ceil(log2(lineBits))
+// bits each plus one replacement cell per pointer plus one full bit.
+// Overhead(512, 6) reproduces the paper-cited 11.9%.
+func Overhead(lineBits, k int) float64 {
+	if lineBits <= 1 {
+		panic("ecp: Overhead needs lineBits > 1")
+	}
+	if k < 0 {
+		panic("ecp: Overhead needs non-negative k")
+	}
+	ptr := int(math.Ceil(math.Log2(float64(lineBits))))
+	total := k*(ptr+1) + 1
+	return float64(total) / float64(lineBits)
+}

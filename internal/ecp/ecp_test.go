@@ -1,0 +1,107 @@
+package ecp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBudgetAndDeath(t *testing.T) {
+	c := New(4, 2)
+	if c.K() != 2 {
+		t.Fatal("K wrong")
+	}
+	if !c.FailCell(0) || !c.FailCell(0) {
+		t.Fatal("correctable failures reported fatal")
+	}
+	if c.Remaining(0) != 0 {
+		t.Fatalf("Remaining = %d", c.Remaining(0))
+	}
+	if c.FailCell(0) {
+		t.Fatal("third failure still correctable with k=2")
+	}
+	if c.DeadLines() != 1 {
+		t.Fatalf("DeadLines = %d", c.DeadLines())
+	}
+	// Dead stays dead, counter keeps counting, dead count does not double.
+	if c.FailCell(0) {
+		t.Fatal("dead line revived")
+	}
+	if c.DeadLines() != 1 {
+		t.Fatalf("DeadLines double-counted: %d", c.DeadLines())
+	}
+	if c.FailedCells(0) != 4 {
+		t.Fatalf("FailedCells = %d", c.FailedCells(0))
+	}
+	// Other lines unaffected.
+	if c.FailedCells(1) != 0 || c.Remaining(1) != 2 {
+		t.Fatal("cross-line contamination")
+	}
+}
+
+func TestZeroPointers(t *testing.T) {
+	c := New(2, 0)
+	if c.FailCell(1) {
+		t.Fatal("k=0 corrected a failure")
+	}
+	if c.DeadLines() != 1 {
+		t.Fatal("death not recorded")
+	}
+}
+
+func TestOverheadPaperFigure(t *testing.T) {
+	// Section 2.2.2: "ECP can correct six hard failures per line with
+	// 11.9% capacity overhead" (512-bit line).
+	got := Overhead(512, 6)
+	if math.Abs(got-0.119) > 0.001 {
+		t.Fatalf("ECP-6 overhead = %v, want ~0.119", got)
+	}
+}
+
+func TestOverheadMonotoneInK(t *testing.T) {
+	prev := -1.0
+	for k := 0; k <= 12; k++ {
+		o := Overhead(512, k)
+		if o <= prev {
+			t.Fatalf("overhead not increasing at k=%d", k)
+		}
+		prev = o
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(1, -1) },
+		func() { New(1, 1).FailCell(1) },
+		func() { New(1, 1).FailedCells(-1) },
+		func() { Overhead(1, 1) },
+		func() { Overhead(512, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The paper's argument: a burst of failures in one weak line exceeds any
+// per-line budget even when the device-wide budget looks generous.
+func TestBurstExceedsPerLineBudget(t *testing.T) {
+	lines, k := 1024, 6
+	c := New(lines, k)
+	// 100 cell failures land in one weak line: dead after k+1, even
+	// though the device-wide pointer budget (1024*6) dwarfs the burst.
+	dead := false
+	for i := 0; i < 100; i++ {
+		if !c.FailCell(7) {
+			dead = true
+		}
+	}
+	if !dead || c.DeadLines() != 1 {
+		t.Fatal("burst did not kill the weak line")
+	}
+}

@@ -1,0 +1,135 @@
+// Package encoding implements the write-reduction codes of Section 3.3.2
+// and the adversarial data patterns that invalidate them:
+//
+//   - DCW (data-comparison write): only flipped bits are programmed, so
+//     the bit-write cost of an update is the Hamming distance.
+//   - Flip-N-Write (Cho & Lee, MICRO'09): each w-bit word carries a flip
+//     bit; if more than half the bits would change, the complement is
+//     stored instead, capping the cost at w/2 + 1 bit-writes.
+//
+// The paper's attack observation: writing 0x0000... and 0x5555... to the
+// same address in turn forces Flip-N-Write to its worst case on every
+// write, eliminating its endurance benefit. AdversarialPair generates the
+// worst-case pattern for any word width.
+package encoding
+
+import "math/bits"
+
+// Word is a 64-bit memory word used by the write-cost models.
+type Word = uint64
+
+// HammingDistance returns the number of differing bits between two words.
+func HammingDistance(a, b Word) int {
+	return bits.OnesCount64(a ^ b)
+}
+
+// DCWCost returns the bit-writes data-comparison write performs to update
+// old to new: exactly the flipped bits.
+func DCWCost(old, new Word) int {
+	return HammingDistance(old, new)
+}
+
+// FNWState is a stored word plus its flip bit.
+type FNWState struct {
+	// Stored is the raw cell contents (possibly the complement of the
+	// logical value).
+	Stored Word
+	// Flipped records whether Stored is complemented.
+	Flipped bool
+	// Width is the logical word width in bits (1..64).
+	Width int
+}
+
+// NewFNW initializes Flip-N-Write storage of the given width holding
+// logical value v.
+func NewFNW(width int, v Word) *FNWState {
+	if width < 1 || width > 64 {
+		panic("encoding: FNW width must be in [1, 64]")
+	}
+	return &FNWState{Stored: v & mask(width), Width: width}
+}
+
+func mask(width int) Word {
+	if width == 64 {
+		return ^Word(0)
+	}
+	return (Word(1) << width) - 1
+}
+
+// Value returns the logical word currently stored.
+func (s *FNWState) Value() Word {
+	if s.Flipped {
+		return (^s.Stored) & mask(s.Width)
+	}
+	return s.Stored
+}
+
+// Write updates the logical value to v and returns the number of bit-cells
+// programmed (including the flip bit when it changes). Flip-N-Write
+// guarantees cost <= width/2 + 1.
+func (s *FNWState) Write(v Word) int {
+	v &= mask(s.Width)
+	direct := HammingDistance(s.Stored, v)
+	complemented := HammingDistance(s.Stored, (^v)&mask(s.Width))
+	// Choose the representation with fewer cell flips; ties keep the
+	// current flip state to avoid touching the flip bit.
+	wantFlip := complemented < direct
+	cost := direct
+	if wantFlip {
+		cost = complemented
+	}
+	if wantFlip != s.Flipped {
+		cost++ // programming the flip bit is a cell write too
+	}
+	if wantFlip {
+		s.Stored = (^v) & mask(s.Width)
+	} else {
+		s.Stored = v
+	}
+	s.Flipped = wantFlip
+	return cost
+}
+
+// MaxFNWCost returns Flip-N-Write's worst-case bit-writes for a word of
+// the given width: floor(width/2) + 1.
+func MaxFNWCost(width int) int { return width/2 + 1 }
+
+// AdversarialPair returns two values that, written alternately over a
+// width-bit word, force Flip-N-Write to its worst case on every write:
+// all-zeros and the alternating pattern 0101...b (the generalization of
+// the paper's 0x0000/0x5555 example). Their Hamming distance is exactly
+// width/2, making the direct and complemented encodings equally bad.
+func AdversarialPair(width int) (a, b Word) {
+	if width < 2 || width > 64 {
+		panic("encoding: adversarial pair needs width in [2, 64]")
+	}
+	return 0, 0x5555555555555555 & mask(width)
+}
+
+// AverageRandomCost estimates the expected Flip-N-Write cost for uniformly
+// random updates of a width-bit word by exact expectation: E[min(k, w-k)]
+// over the binomial Hamming distance k, plus the flip-bit cost when the
+// complement is chosen. It is used by tests and reports to contrast the
+// benign average case with the adversarial worst case.
+func AverageRandomCost(width int) float64 {
+	if width < 1 || width > 63 {
+		panic("encoding: width must be in [1, 63] for exact expectation")
+	}
+	// P(k) = C(w, k) / 2^w.
+	total := 0.0
+	c := 1.0 // C(w, 0)
+	pow := 1.0
+	for i := 0; i < width; i++ {
+		pow *= 2
+	}
+	for k := 0; k <= width; k++ {
+		cost := float64(k)
+		if width-k < k {
+			cost = float64(width-k) + 1 // complement + flip bit
+		}
+		total += c / pow * cost
+		// next binomial coefficient
+		c = c * float64(width-k) / float64(k+1)
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"maxwe/internal/xrand"
+)
+
+func TestHammingDistance(t *testing.T) {
+	if HammingDistance(0, 0) != 0 {
+		t.Fatal("identical words differ")
+	}
+	if HammingDistance(0, ^Word(0)) != 64 {
+		t.Fatal("complement distance wrong")
+	}
+	if HammingDistance(0b1010, 0b0110) != 2 {
+		t.Fatal("distance wrong")
+	}
+}
+
+func TestDCWCost(t *testing.T) {
+	if DCWCost(0xFF, 0xFF) != 0 {
+		t.Fatal("no-op write cost nonzero")
+	}
+	if DCWCost(0x00, 0x0F) != 4 {
+		t.Fatal("DCW cost wrong")
+	}
+}
+
+func TestFNWValueRoundTrip(t *testing.T) {
+	s := NewFNW(16, 0x1234)
+	if s.Value() != 0x1234 {
+		t.Fatalf("initial value = %#x", s.Value())
+	}
+	s.Write(0xFFFF)
+	if s.Value() != 0xFFFF {
+		t.Fatalf("value after write = %#x", s.Value())
+	}
+	s.Write(0x0001)
+	if s.Value() != 0x0001 {
+		t.Fatalf("value after second write = %#x", s.Value())
+	}
+}
+
+func TestFNWUsesComplementWhenCheaper(t *testing.T) {
+	// From 0x0000 to 0xFFFF: direct cost 16, complemented cost 0 bits +
+	// 1 flip bit = 1.
+	s := NewFNW(16, 0)
+	cost := s.Write(0xFFFF)
+	if cost != 1 {
+		t.Fatalf("complement write cost = %d, want 1", cost)
+	}
+	if !s.Flipped {
+		t.Fatal("flip bit not set")
+	}
+	if s.Value() != 0xFFFF {
+		t.Fatal("logical value wrong after complement store")
+	}
+}
+
+func TestFNWCostBound(t *testing.T) {
+	src := xrand.New(5)
+	for _, width := range []int{2, 8, 16, 32, 64} {
+		s := NewFNW(width, 0)
+		bound := MaxFNWCost(width)
+		for i := 0; i < 2000; i++ {
+			v := Word(src.Uint64())
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			if c := s.Write(v); c > bound {
+				t.Fatalf("width %d: cost %d exceeds bound %d", width, c, bound)
+			}
+		}
+	}
+}
+
+// Property: FNW always stores the correct logical value, regardless of
+// write sequence.
+func TestFNWCorrectnessProperty(t *testing.T) {
+	s := NewFNW(32, 0)
+	f := func(v uint32) bool {
+		s.Write(Word(v))
+		return s.Value() == Word(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialPairForcesWorstCase(t *testing.T) {
+	// The paper's attack: alternate 0x0000 and 0x5555. Every write after
+	// the first must cost the worst case (width/2 bit flips; the flip bit
+	// never helps because distance to value and complement are equal).
+	for _, width := range []int{8, 16, 32, 64} {
+		a, b := AdversarialPair(width)
+		if HammingDistance(a, b) != width/2 {
+			t.Fatalf("width %d: adversarial distance = %d, want %d",
+				width, HammingDistance(a, b), width/2)
+		}
+		s := NewFNW(width, a)
+		total := 0
+		const writes = 100
+		for i := 0; i < writes; i++ {
+			if i%2 == 0 {
+				total += s.Write(b)
+			} else {
+				total += s.Write(a)
+			}
+		}
+		perWrite := float64(total) / writes
+		if perWrite < float64(width)/2 {
+			t.Fatalf("width %d: adversarial per-write cost %v < width/2", width, perWrite)
+		}
+	}
+}
+
+func TestAdversarialBeatsRandom(t *testing.T) {
+	// Average random updates must cost strictly less than the adversarial
+	// pattern — that is the whole point of the attack.
+	width := 32
+	avg := AverageRandomCost(width)
+	if avg >= float64(width)/2 {
+		t.Fatalf("random average %v not below adversarial %v", avg, float64(width)/2)
+	}
+}
+
+func TestAverageRandomCostSmallWidths(t *testing.T) {
+	// width=1: updates are 0 or 1 with equal probability; cost 0 or 1,
+	// expectation 0.5 (complement never chosen: w-k<k impossible for k<=... )
+	got := AverageRandomCost(1)
+	if got != 0.5 {
+		t.Fatalf("AverageRandomCost(1) = %v, want 0.5", got)
+	}
+	// width=2: k=0:cost0 p=1/4; k=1:cost1 p=1/2; k=2: complement cost 0+1 p=1/4.
+	got = AverageRandomCost(2)
+	if got != 0.75 {
+		t.Fatalf("AverageRandomCost(2) = %v, want 0.75", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFNW(0, 0) },
+		func() { NewFNW(65, 0) },
+		func() { AdversarialPair(1) },
+		func() { AdversarialPair(65) },
+		func() { AverageRandomCost(0) },
+		func() { AverageRandomCost(64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxFNWCost(t *testing.T) {
+	if MaxFNWCost(16) != 9 || MaxFNWCost(64) != 33 {
+		t.Fatal("MaxFNWCost wrong")
+	}
+}

@@ -1,0 +1,28 @@
+package encoding_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/encoding"
+)
+
+// Flip-N-Write stores the complement when that flips fewer cells: going
+// from all-zeros to all-ones costs one cell (the flip bit) instead of 16.
+func ExampleFNWState_Write() {
+	s := encoding.NewFNW(16, 0x0000)
+	cost := s.Write(0xFFFF)
+	fmt.Printf("cost: %d bit-write(s), stored value: %#04x\n", cost, s.Value())
+	// Output:
+	// cost: 1 bit-write(s), stored value: 0xffff
+}
+
+// The paper's adversarial pattern pins Flip-N-Write at its worst case:
+// alternating 0x0000 and 0x5555 makes the direct and complemented
+// encodings equally expensive on every write.
+func ExampleAdversarialPair() {
+	a, b := encoding.AdversarialPair(16)
+	fmt.Printf("pattern: %#04x / %#04x, distance %d of %d bits\n",
+		a, b, encoding.HammingDistance(a, b), 16)
+	// Output:
+	// pattern: 0x0000 / 0x5555, distance 8 of 16 bits
+}

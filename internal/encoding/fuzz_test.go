@@ -1,0 +1,45 @@
+package encoding
+
+import "testing"
+
+// FuzzFNWRoundTrip checks, for arbitrary write sequences, that
+// Flip-N-Write always stores the correct logical value and never exceeds
+// its worst-case cost bound.
+func FuzzFNWRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0x5555), uint8(16))
+	f.Add(uint64(1<<63), uint64(1), uint8(64))
+	f.Add(uint64(0xdeadbeef), uint64(0xcafebabe), uint8(32))
+	f.Fuzz(func(t *testing.T, a, b uint64, w uint8) {
+		width := int(w%64) + 1
+		s := NewFNW(width, a)
+		bound := MaxFNWCost(width)
+		for i := 0; i < 8; i++ {
+			v := a
+			if i%2 == 1 {
+				v = b
+			}
+			cost := s.Write(v)
+			if cost < 0 || cost > bound {
+				t.Fatalf("width %d: cost %d outside [0, %d]", width, cost, bound)
+			}
+			if s.Value() != v&mask(width) {
+				t.Fatalf("width %d: stored %#x, want %#x", width, s.Value(), v&mask(width))
+			}
+		}
+	})
+}
+
+// FuzzDCWSymmetric checks the data-comparison-write cost is symmetric and
+// zero iff the operands are equal.
+func FuzzDCWSymmetric(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		if DCWCost(a, b) != DCWCost(b, a) {
+			t.Fatal("DCW cost not symmetric")
+		}
+		if (DCWCost(a, b) == 0) != (a == b) {
+			t.Fatal("DCW zero-cost iff equality violated")
+		}
+	})
+}

@@ -1,0 +1,432 @@
+// Package endurance implements the NVM write-endurance variation model the
+// paper builds on (Section 2.1, Equations 1-2), following the domain
+// characterization of Zhang & Li (MICRO'09): the memory is divided into
+// equal-size regions (domains), the programming current of the regions
+// follows a normal distribution, and cell endurance follows a power law of
+// the programming energy:
+//
+//	E(I) = 1e8 * (I^2 * R * T)^-6
+//
+// where R (cell resistance) and T (write pulse width) are process
+// constants. The package produces per-line endurance profiles — the write
+// budget of every memory line plus the per-region endurance metric that
+// manufacture-time characterization would expose to the memory controller —
+// and the linear EL..EH profile used by the paper's closed-form analysis
+// (Section 3.1 and 4.3).
+package endurance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"maxwe/internal/xrand"
+)
+
+// PowerLawCoefficient is the 1e8 leading constant of Equation 1.
+const PowerLawCoefficient = 1e8
+
+// PowerLawExponent is the exponent of the programming-energy power law;
+// Equation 1 raises (I^2*R*T) to the -6th power, i.e. E ∝ I^-12.
+const PowerLawExponent = 6
+
+// Model holds the parameters of the current-to-endurance model. The zero
+// value is not useful; start from DefaultModel.
+type Model struct {
+	// MeanCurrent is µ of the per-region programming-current normal
+	// distribution, in mA. The paper's setup uses 0.3 mA.
+	MeanCurrent float64
+	// StdevCurrent is σ of the distribution, in mA. The paper uses 0.033.
+	StdevCurrent float64
+	// RT is the R*T product of Equation 1 in units chosen such that
+	// I^2*RT is dimensionless. DefaultModel picks RT = 1/MeanCurrent^2 so
+	// that a region at exactly the mean current has endurance 1e8, the
+	// nominal PCM endurance the paper's references assume.
+	RT float64
+	// TruncSigma truncates the current distribution to
+	// µ ± TruncSigma*σ. Raw extrapolation of the power law across the
+	// full normal range produces max/min endurance ratios of 10^3..10^4
+	// for thousands of regions, while the paper's own operating point
+	// (the 4.1% UAA baseline, Equation 5, and the q axis of Figure 5)
+	// corresponds to a ratio around 50. TruncSigmaForRatio computes the
+	// truncation matching a target ratio; DefaultModel uses ratio 50.
+	TruncSigma float64
+	// JitterSigma is the σ of the lognormal intra-region line-level
+	// endurance jitter. Zero disables jitter (all lines of a region share
+	// the region endurance, as in the paper's region-granularity model).
+	JitterSigma float64
+}
+
+// DefaultModel returns the paper's experiment parameters: µ = 0.3 mA,
+// σ = 0.033 mA, endurance 1e8 at the mean current, and the current
+// distribution truncated so the max/min endurance ratio is ≈50 (the paper's
+// q = 50 operating point). A small intra-region jitter keeps per-line
+// endurance distinct without changing region ordering.
+func DefaultModel() Model {
+	m := Model{
+		MeanCurrent:  0.3,
+		StdevCurrent: 0.033,
+		JitterSigma:  0.01,
+	}
+	m.RT = 1 / (m.MeanCurrent * m.MeanCurrent)
+	m.TruncSigma = m.TruncSigmaForRatio(50)
+	return m
+}
+
+// Endurance evaluates Equation 1: the endurance of a cell programmed with
+// current i (mA). Larger currents wear cells out faster.
+func (m Model) Endurance(i float64) float64 {
+	e := i * i * m.RT
+	return PowerLawCoefficient * math.Pow(e, -PowerLawExponent)
+}
+
+// Ratio returns the max/min endurance ratio implied by the model's
+// truncation: (E at µ-TruncSigma·σ) / (E at µ+TruncSigma·σ).
+func (m Model) Ratio() float64 {
+	lo := m.MeanCurrent - m.TruncSigma*m.StdevCurrent
+	hi := m.MeanCurrent + m.TruncSigma*m.StdevCurrent
+	return m.Endurance(lo) / m.Endurance(hi)
+}
+
+// TruncSigmaForRatio returns the truncation width t (in σ units) such that
+// truncating the current distribution at µ ± t·σ yields a max/min
+// endurance ratio of q. It panics if q < 1 or the model parameters cannot
+// reach q.
+func (m Model) TruncSigmaForRatio(q float64) float64 {
+	if q < 1 {
+		panic("endurance: ratio must be >= 1")
+	}
+	// E ∝ I^-(2*exp) so q = (Ihi/Ilo)^(2*exp) with Ihi=µ+tσ, Ilo=µ-tσ.
+	root := math.Pow(q, 1/float64(2*PowerLawExponent))
+	// (µ+tσ)/(µ-tσ) = root  =>  t = µ(root-1) / (σ(root+1)).
+	t := m.MeanCurrent * (root - 1) / (m.StdevCurrent * (root + 1))
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("endurance: unreachable ratio %v", q))
+	}
+	return t
+}
+
+// Profile is a per-line endurance assignment plus the region-granularity
+// endurance metric that schemes are allowed to consult (the paper assumes
+// the endurance distribution is characterized at manufacture time at
+// region granularity).
+type Profile struct {
+	linesPerRegion int
+	// regionMetric[r] is the manufacture-time endurance metric of region
+	// r (the region's base endurance in writes).
+	regionMetric []float64
+	// line[i] is the write budget of line i in writes.
+	line []int64
+}
+
+// Sample draws a profile from the model: one truncated-normal programming
+// current per region, Equation 1 for the region endurance, and optional
+// per-line lognormal jitter. The result is deterministic for a given
+// source state.
+func (m Model) Sample(regions, linesPerRegion int, src *xrand.Source) *Profile {
+	if regions <= 0 || linesPerRegion <= 0 {
+		panic("endurance: Sample needs positive regions and linesPerRegion")
+	}
+	p := &Profile{
+		linesPerRegion: linesPerRegion,
+		regionMetric:   make([]float64, regions),
+		line:           make([]int64, regions*linesPerRegion),
+	}
+	for r := 0; r < regions; r++ {
+		i := m.drawCurrent(src)
+		base := m.Endurance(i)
+		p.regionMetric[r] = base
+		for l := 0; l < linesPerRegion; l++ {
+			e := base
+			if m.JitterSigma > 0 {
+				e *= math.Exp(m.JitterSigma * src.NormFloat64())
+			}
+			if e < 1 {
+				e = 1
+			}
+			p.line[r*linesPerRegion+l] = int64(e)
+		}
+	}
+	return p
+}
+
+// drawCurrent samples the truncated normal programming current.
+func (m Model) drawCurrent(src *xrand.Source) float64 {
+	for {
+		i := m.MeanCurrent + m.StdevCurrent*src.NormFloat64()
+		if m.TruncSigma > 0 {
+			lo := m.MeanCurrent - m.TruncSigma*m.StdevCurrent
+			hi := m.MeanCurrent + m.TruncSigma*m.StdevCurrent
+			if i < lo || i > hi {
+				continue
+			}
+		}
+		if i > 0 {
+			return i
+		}
+	}
+}
+
+// Linear builds the tractable linear profile of the paper's analysis
+// (Figure 1): line endurance linearly distributed between el and eh. The
+// lines are assigned in ascending order of endurance grouped into regions,
+// i.e. region 0 is the weakest region. Shuffling, when the experiment
+// needs spatially mixed weakness, is the caller's job. It panics unless
+// 0 < el <= eh.
+func Linear(regions, linesPerRegion int, el, eh float64) *Profile {
+	if regions <= 0 || linesPerRegion <= 0 {
+		panic("endurance: Linear needs positive regions and linesPerRegion")
+	}
+	if el <= 0 || eh < el {
+		panic("endurance: Linear needs 0 < el <= eh")
+	}
+	n := regions * linesPerRegion
+	p := &Profile{
+		linesPerRegion: linesPerRegion,
+		regionMetric:   make([]float64, regions),
+		line:           make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		e := el + (eh-el)*frac
+		p.line[i] = int64(e)
+		if p.line[i] < 1 {
+			p.line[i] = 1
+		}
+	}
+	for r := 0; r < regions; r++ {
+		sum := 0.0
+		for l := 0; l < linesPerRegion; l++ {
+			sum += float64(p.line[r*linesPerRegion+l])
+		}
+		p.regionMetric[r] = sum / float64(linesPerRegion)
+	}
+	return p
+}
+
+// LogNormal builds a profile whose region endurance is lognormally
+// distributed around median with log-domain standard deviation sigmaLog,
+// truncated so the realized max/min region ratio never exceeds maxRatio.
+// Lognormal endurance is the third distribution family the literature
+// fits to measured dies (alongside the paper's power-law-of-normal and
+// the analytic linear model); experiments use it for sensitivity checks.
+func LogNormal(regions, linesPerRegion int, median, sigmaLog, maxRatio float64, src *xrand.Source) *Profile {
+	if regions <= 0 || linesPerRegion <= 0 {
+		panic("endurance: LogNormal needs positive regions and linesPerRegion")
+	}
+	if median <= 0 || sigmaLog < 0 || maxRatio < 1 {
+		panic("endurance: LogNormal needs median > 0, sigmaLog >= 0, maxRatio >= 1")
+	}
+	if src == nil {
+		panic("endurance: LogNormal needs a randomness source")
+	}
+	// Truncate the log-domain deviate symmetrically so the worst-case
+	// pairwise ratio exp(2*bound) stays within maxRatio.
+	bound := math.Log(maxRatio) / 2
+	p := &Profile{
+		linesPerRegion: linesPerRegion,
+		regionMetric:   make([]float64, regions),
+		line:           make([]int64, regions*linesPerRegion),
+	}
+	for r := 0; r < regions; r++ {
+		var z float64
+		for {
+			z = sigmaLog * src.NormFloat64()
+			if z >= -bound && z <= bound {
+				break
+			}
+			if sigmaLog == 0 {
+				z = 0
+				break
+			}
+		}
+		base := median * math.Exp(z)
+		if base < 1 {
+			base = 1
+		}
+		p.regionMetric[r] = base
+		for l := 0; l < linesPerRegion; l++ {
+			p.line[r*linesPerRegion+l] = int64(base)
+		}
+	}
+	return p
+}
+
+// FromLines builds a profile from explicit per-line write budgets. The
+// line count must divide evenly into regions of linesPerRegion lines; the
+// region metric is the mean line endurance of each region. Derived
+// profiles (for example the ECP-boosted ones in internal/ecp) use this
+// constructor. The slice is copied.
+func FromLines(linesPerRegion int, lines []int64) *Profile {
+	if linesPerRegion <= 0 {
+		panic("endurance: FromLines needs positive linesPerRegion")
+	}
+	if len(lines) == 0 || len(lines)%linesPerRegion != 0 {
+		panic("endurance: FromLines needs lines divisible into whole regions")
+	}
+	regions := len(lines) / linesPerRegion
+	p := &Profile{
+		linesPerRegion: linesPerRegion,
+		regionMetric:   make([]float64, regions),
+		line:           make([]int64, len(lines)),
+	}
+	for i, e := range lines {
+		if e < 1 {
+			panic("endurance: FromLines needs endurance >= 1 for every line")
+		}
+		p.line[i] = e
+	}
+	for r := 0; r < regions; r++ {
+		sum := 0.0
+		for l := 0; l < linesPerRegion; l++ {
+			sum += float64(p.line[r*linesPerRegion+l])
+		}
+		p.regionMetric[r] = sum / float64(linesPerRegion)
+	}
+	return p
+}
+
+// Uniform builds a no-variation profile where every line endures exactly e
+// writes. Useful as the ideal-device control in tests.
+func Uniform(regions, linesPerRegion int, e int64) *Profile {
+	if e <= 0 {
+		panic("endurance: Uniform needs positive endurance")
+	}
+	p := Linear(regions, linesPerRegion, float64(e), float64(e))
+	return p
+}
+
+// ScaleToMean returns a copy of the profile rescaled so the mean line
+// endurance equals target writes, preserving all ratios. Simulations use
+// scaled profiles (mean ~1e3-1e4) because normalized lifetime is
+// scale-invariant while 1e8-write budgets are not tractable per-write.
+func (p *Profile) ScaleToMean(target float64) *Profile {
+	if target <= 0 {
+		panic("endurance: ScaleToMean needs positive target")
+	}
+	mean := p.Mean()
+	f := target / mean
+	q := &Profile{
+		linesPerRegion: p.linesPerRegion,
+		regionMetric:   make([]float64, len(p.regionMetric)),
+		line:           make([]int64, len(p.line)),
+	}
+	for r, m := range p.regionMetric {
+		q.regionMetric[r] = m * f
+	}
+	for i, e := range p.line {
+		v := int64(float64(e) * f)
+		if v < 1 {
+			v = 1
+		}
+		q.line[i] = v
+	}
+	return q
+}
+
+// Shuffled returns a copy of the profile with whole regions permuted
+// uniformly at random, so that region endurance is not spatially sorted.
+// Line order inside each region is preserved.
+func (p *Profile) Shuffled(src *xrand.Source) *Profile {
+	perm := src.Perm(p.Regions())
+	q := &Profile{
+		linesPerRegion: p.linesPerRegion,
+		regionMetric:   make([]float64, len(p.regionMetric)),
+		line:           make([]int64, len(p.line)),
+	}
+	for newR, oldR := range perm {
+		q.regionMetric[newR] = p.regionMetric[oldR]
+		copy(q.line[newR*p.linesPerRegion:(newR+1)*p.linesPerRegion],
+			p.line[oldR*p.linesPerRegion:(oldR+1)*p.linesPerRegion])
+	}
+	return q
+}
+
+// Lines returns the total number of lines.
+func (p *Profile) Lines() int { return len(p.line) }
+
+// Regions returns the number of regions.
+func (p *Profile) Regions() int { return len(p.regionMetric) }
+
+// LinesPerRegion returns the region size in lines.
+func (p *Profile) LinesPerRegion() int { return p.linesPerRegion }
+
+// LineEndurance returns the write budget of line i.
+func (p *Profile) LineEndurance(i int) int64 { return p.line[i] }
+
+// RegionOf returns the region that contains line i.
+func (p *Profile) RegionOf(i int) int { return i / p.linesPerRegion }
+
+// RegionMetric returns the manufacture-time endurance metric of region r.
+func (p *Profile) RegionMetric(r int) float64 { return p.regionMetric[r] }
+
+// Sum returns the total write budget of the device — the paper's "ideal
+// lifetime" denominator used to normalize every lifetime result.
+func (p *Profile) Sum() float64 {
+	s := 0.0
+	for _, e := range p.line {
+		s += float64(e)
+	}
+	return s
+}
+
+// Mean returns the mean line endurance.
+func (p *Profile) Mean() float64 { return p.Sum() / float64(len(p.line)) }
+
+// Min returns the smallest line endurance (EL).
+func (p *Profile) Min() int64 {
+	m := p.line[0]
+	for _, e := range p.line[1:] {
+		if e < m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Max returns the largest line endurance (EH).
+func (p *Profile) Max() int64 {
+	m := p.line[0]
+	for _, e := range p.line[1:] {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Ratio returns EH/EL, the realized degree of process variation q.
+func (p *Profile) Ratio() float64 { return float64(p.Max()) / float64(p.Min()) }
+
+// RegionsByMetricAsc returns the region ids sorted by ascending endurance
+// metric — the ordering both Max-WE's weak-priority allocation and the
+// endurance-aware wear-leveling substrates start from. Ties break by
+// region id for determinism.
+func (p *Profile) RegionsByMetricAsc() []int {
+	ids := make([]int, p.Regions())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if p.regionMetric[ids[a]] != p.regionMetric[ids[b]] {
+			return p.regionMetric[ids[a]] < p.regionMetric[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// KthWeakestLine returns the endurance of the k-th weakest line (k is
+// 0-based), used by the closed-form lifetime checks.
+func (p *Profile) KthWeakestLine(k int) int64 {
+	if k < 0 || k >= len(p.line) {
+		panic("endurance: KthWeakestLine out of range")
+	}
+	s := make([]int64, len(p.line))
+	copy(s, p.line)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[k]
+}

@@ -1,0 +1,302 @@
+package endurance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"maxwe/internal/xrand"
+)
+
+func TestEnduranceAtMeanCurrent(t *testing.T) {
+	m := DefaultModel()
+	got := m.Endurance(m.MeanCurrent)
+	if math.Abs(got-PowerLawCoefficient) > 1 {
+		t.Fatalf("E(mean current) = %v, want %v", got, PowerLawCoefficient)
+	}
+}
+
+func TestEnduranceMonotoneDecreasing(t *testing.T) {
+	m := DefaultModel()
+	prev := math.Inf(1)
+	for i := 0.1; i < 0.6; i += 0.01 {
+		e := m.Endurance(i)
+		if e >= prev {
+			t.Fatalf("endurance not decreasing at current %v", i)
+		}
+		prev = e
+	}
+}
+
+func TestEndurancePowerLawExponent(t *testing.T) {
+	m := DefaultModel()
+	// E(2I)/E(I) must equal 2^-12 exactly under the power law.
+	r := m.Endurance(0.4) / m.Endurance(0.2)
+	want := math.Pow(2, -12)
+	if math.Abs(r-want)/want > 1e-9 {
+		t.Fatalf("power-law ratio = %v, want %v", r, want)
+	}
+}
+
+func TestTruncSigmaForRatio(t *testing.T) {
+	m := DefaultModel()
+	for _, q := range []float64{2, 10, 50, 100} {
+		m.TruncSigma = m.TruncSigmaForRatio(q)
+		if got := m.Ratio(); math.Abs(got-q)/q > 1e-9 {
+			t.Fatalf("Ratio after TruncSigmaForRatio(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestTruncSigmaForRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncSigmaForRatio(0.5) did not panic")
+		}
+	}()
+	DefaultModel().TruncSigmaForRatio(0.5)
+}
+
+func TestDefaultModelRatioNear50(t *testing.T) {
+	if r := DefaultModel().Ratio(); math.Abs(r-50) > 0.5 {
+		t.Fatalf("default model ratio = %v, want ~50", r)
+	}
+}
+
+func TestSampleShape(t *testing.T) {
+	m := DefaultModel()
+	p := m.Sample(64, 32, xrand.New(1))
+	if p.Lines() != 64*32 || p.Regions() != 64 || p.LinesPerRegion() != 32 {
+		t.Fatalf("unexpected shape: %d lines, %d regions", p.Lines(), p.Regions())
+	}
+	for i := 0; i < p.Lines(); i++ {
+		if p.LineEndurance(i) < 1 {
+			t.Fatalf("line %d has endurance %d < 1", i, p.LineEndurance(i))
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	m := DefaultModel()
+	a := m.Sample(32, 16, xrand.New(7))
+	b := m.Sample(32, 16, xrand.New(7))
+	for i := 0; i < a.Lines(); i++ {
+		if a.LineEndurance(i) != b.LineEndurance(i) {
+			t.Fatalf("profiles diverge at line %d", i)
+		}
+	}
+}
+
+func TestSampleRatioBounded(t *testing.T) {
+	m := DefaultModel()
+	m.JitterSigma = 0
+	p := m.Sample(2048, 4, xrand.New(3))
+	// With truncation at the q=50 point, the realized ratio must be <= 50
+	// (up to int rounding) and, with 2048 regions, nearly reach it.
+	if r := p.Ratio(); r > 51 || r < 25 {
+		t.Fatalf("realized ratio %v outside (25, 51]", r)
+	}
+}
+
+func TestSampleRespectsRegionMetricOrdering(t *testing.T) {
+	m := DefaultModel()
+	m.JitterSigma = 0
+	p := m.Sample(16, 8, xrand.New(5))
+	for r := 0; r < p.Regions(); r++ {
+		for l := 0; l < p.LinesPerRegion(); l++ {
+			line := r*p.LinesPerRegion() + l
+			if math.Abs(float64(p.LineEndurance(line))-p.RegionMetric(r)) > p.RegionMetric(r)*0.01+1 {
+				t.Fatalf("line %d endurance %d far from region metric %v with zero jitter",
+					line, p.LineEndurance(line), p.RegionMetric(r))
+			}
+		}
+	}
+}
+
+func TestLinearProfile(t *testing.T) {
+	p := Linear(8, 4, 100, 5000)
+	if p.Min() != 100 {
+		t.Fatalf("Min = %d, want 100", p.Min())
+	}
+	if p.Max() != 5000 {
+		t.Fatalf("Max = %d, want 5000", p.Max())
+	}
+	// Monotone non-decreasing across the line index.
+	for i := 1; i < p.Lines(); i++ {
+		if p.LineEndurance(i) < p.LineEndurance(i-1) {
+			t.Fatalf("linear profile not monotone at %d", i)
+		}
+	}
+	// Mean of a linear profile is (EL+EH)/2.
+	if m := p.Mean(); math.Abs(m-2550) > 30 {
+		t.Fatalf("mean = %v, want ~2550", m)
+	}
+}
+
+func TestLinearPanics(t *testing.T) {
+	cases := []func(){
+		func() { Linear(0, 4, 1, 2) },
+		func() { Linear(4, 0, 1, 2) },
+		func() { Linear(4, 4, 0, 2) },
+		func() { Linear(4, 4, 3, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	p := Uniform(4, 4, 1000)
+	if p.Min() != 1000 || p.Max() != 1000 {
+		t.Fatalf("uniform profile min/max = %d/%d", p.Min(), p.Max())
+	}
+	if p.Ratio() != 1 {
+		t.Fatalf("uniform ratio = %v", p.Ratio())
+	}
+}
+
+func TestScaleToMean(t *testing.T) {
+	p := Linear(16, 16, 1e6, 5e7)
+	s := p.ScaleToMean(2000)
+	if math.Abs(s.Mean()-2000) > 20 {
+		t.Fatalf("scaled mean = %v, want ~2000", s.Mean())
+	}
+	// Ratios preserved within integer rounding.
+	if math.Abs(s.Ratio()-p.Ratio())/p.Ratio() > 0.05 {
+		t.Fatalf("scaling changed ratio: %v -> %v", p.Ratio(), s.Ratio())
+	}
+	// Original untouched.
+	if p.Mean() < 1e6 {
+		t.Fatal("ScaleToMean mutated the receiver")
+	}
+}
+
+func TestShuffledPreservesMultisetAndRegions(t *testing.T) {
+	m := DefaultModel()
+	p := m.Sample(32, 8, xrand.New(2))
+	s := p.Shuffled(xrand.New(3))
+	if s.Sum() != p.Sum() {
+		t.Fatalf("shuffle changed total endurance: %v -> %v", p.Sum(), s.Sum())
+	}
+	// Each shuffled region must exist in the original with identical
+	// metric and lines.
+	orig := map[float64][]int{}
+	for r := 0; r < p.Regions(); r++ {
+		orig[p.RegionMetric(r)] = append(orig[p.RegionMetric(r)], r)
+	}
+	for r := 0; r < s.Regions(); r++ {
+		cands := orig[s.RegionMetric(r)]
+		if len(cands) == 0 {
+			t.Fatalf("shuffled region %d metric %v not found in original", r, s.RegionMetric(r))
+		}
+	}
+}
+
+func TestRegionsByMetricAsc(t *testing.T) {
+	p := Linear(8, 4, 100, 800)
+	ids := p.RegionsByMetricAsc()
+	if len(ids) != 8 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if p.RegionMetric(ids[i]) < p.RegionMetric(ids[i-1]) {
+			t.Fatalf("ordering violated at %d", i)
+		}
+	}
+	// Linear profile regions are already ascending.
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("linear profile order = %v", ids)
+		}
+	}
+}
+
+func TestKthWeakestLine(t *testing.T) {
+	p := Linear(4, 4, 10, 160)
+	if p.KthWeakestLine(0) != p.Min() {
+		t.Fatal("0th weakest != Min")
+	}
+	if p.KthWeakestLine(p.Lines()-1) != p.Max() {
+		t.Fatal("last weakest != Max")
+	}
+	prev := int64(-1)
+	for k := 0; k < p.Lines(); k++ {
+		e := p.KthWeakestLine(k)
+		if e < prev {
+			t.Fatalf("KthWeakestLine not monotone at %d", k)
+		}
+		prev = e
+	}
+}
+
+func TestKthWeakestLinePanics(t *testing.T) {
+	p := Uniform(2, 2, 5)
+	for _, k := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("KthWeakestLine(%d) did not panic", k)
+				}
+			}()
+			p.KthWeakestLine(k)
+		}()
+	}
+}
+
+// Property: for any valid el <= eh, Linear's min and max equal el and eh
+// (after integer truncation) and sum is within rounding of the trapezoid.
+func TestLinearProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		el := float64(a%5000) + 1
+		eh := el + float64(b%5000)
+		p := Linear(4, 8, el, eh)
+		return p.Min() == int64(el) && p.Max() == int64(eh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ScaleToMean preserves the weak-to-strong ordering of lines.
+func TestScalePreservesOrderProperty(t *testing.T) {
+	m := DefaultModel()
+	p := m.Sample(16, 4, xrand.New(11))
+	s := p.ScaleToMean(500)
+	for i := 0; i < p.Lines(); i++ {
+		for j := i + 1; j < p.Lines(); j++ {
+			if (p.LineEndurance(i) < p.LineEndurance(j)) != (s.LineEndurance(i) <= s.LineEndurance(j)) &&
+				s.LineEndurance(i) > s.LineEndurance(j) {
+				t.Fatalf("order inverted between lines %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPaperSetupVariation(t *testing.T) {
+	// Section 2.1's setup: many regions, µ=0.3, σ=0.033. With the q=50
+	// truncation the observed strongest/weakest region metric ratio must
+	// sit close to 50 for a 512-region device.
+	m := DefaultModel()
+	m.JitterSigma = 0
+	p := m.Sample(512, 2, xrand.New(9))
+	minM, maxM := p.RegionMetric(0), p.RegionMetric(0)
+	for r := 1; r < p.Regions(); r++ {
+		if p.RegionMetric(r) < minM {
+			minM = p.RegionMetric(r)
+		}
+		if p.RegionMetric(r) > maxM {
+			maxM = p.RegionMetric(r)
+		}
+	}
+	ratio := maxM / minM
+	if ratio < 20 || ratio > 51 {
+		t.Fatalf("512-region metric ratio = %v, want within (20, 51]", ratio)
+	}
+}

@@ -1,0 +1,101 @@
+package endurance
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestFromLines(t *testing.T) {
+	lines := []int64{10, 20, 30, 40, 50, 60}
+	p := FromLines(3, lines)
+	if p.Lines() != 6 || p.Regions() != 2 || p.LinesPerRegion() != 3 {
+		t.Fatalf("shape: %d lines, %d regions", p.Lines(), p.Regions())
+	}
+	for i, e := range lines {
+		if p.LineEndurance(i) != e {
+			t.Fatalf("line %d endurance %d, want %d", i, p.LineEndurance(i), e)
+		}
+	}
+	if p.RegionMetric(0) != 20 || p.RegionMetric(1) != 50 {
+		t.Fatalf("region metrics %v/%v, want 20/50", p.RegionMetric(0), p.RegionMetric(1))
+	}
+	// The input slice is copied.
+	lines[0] = 999
+	if p.LineEndurance(0) != 10 {
+		t.Fatal("FromLines aliased its input")
+	}
+}
+
+func TestLogNormalProfile(t *testing.T) {
+	p := LogNormal(256, 4, 1000, 0.8, 50, xrand.New(3))
+	if p.Lines() != 1024 {
+		t.Fatalf("lines = %d", p.Lines())
+	}
+	if r := p.Ratio(); r > 50.5 {
+		t.Fatalf("ratio %v exceeds the truncation cap", r)
+	}
+	if r := p.Ratio(); r < 5 {
+		t.Fatalf("ratio %v suspiciously tight for sigma 0.8", r)
+	}
+	// Median-ish center: the profile mean should be within a factor ~2
+	// of the median for this sigma.
+	if p.Mean() < 500 || p.Mean() > 2500 {
+		t.Fatalf("mean = %v, want near the 1000 median", p.Mean())
+	}
+}
+
+func TestLogNormalZeroSigma(t *testing.T) {
+	p := LogNormal(8, 2, 700, 0, 10, xrand.New(4))
+	if p.Min() != 700 || p.Max() != 700 {
+		t.Fatalf("zero-sigma profile not constant: %d..%d", p.Min(), p.Max())
+	}
+}
+
+func TestLogNormalDeterministic(t *testing.T) {
+	a := LogNormal(32, 2, 1000, 0.5, 20, xrand.New(9))
+	b := LogNormal(32, 2, 1000, 0.5, 20, xrand.New(9))
+	for i := 0; i < a.Lines(); i++ {
+		if a.LineEndurance(i) != b.LineEndurance(i) {
+			t.Fatal("LogNormal not deterministic")
+		}
+	}
+}
+
+func TestLogNormalPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LogNormal(0, 2, 100, 0.5, 10, xrand.New(1)) },
+		func() { LogNormal(2, 0, 100, 0.5, 10, xrand.New(1)) },
+		func() { LogNormal(2, 2, 0, 0.5, 10, xrand.New(1)) },
+		func() { LogNormal(2, 2, 100, -0.5, 10, xrand.New(1)) },
+		func() { LogNormal(2, 2, 100, 0.5, 0.5, xrand.New(1)) },
+		func() { LogNormal(2, 2, 100, 0.5, 10, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromLinesPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FromLines(0, []int64{1}) },
+		func() { FromLines(2, nil) },
+		func() { FromLines(2, []int64{1, 2, 3}) },
+		func() { FromLines(2, []int64{1, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

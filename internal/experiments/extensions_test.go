@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestECPStudyShape(t *testing.T) {
+	// midSetup's larger endurance scale keeps the cell order statistics
+	// distinct after integer truncation.
+	rows := ECPStudy(midSetup(), []int{0, 2, 6})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// ECP-only lifetime rises with k.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ECPOnly <= rows[i-1].ECPOnly {
+			t.Fatalf("ECP-only lifetime not increasing: k=%d %v vs k=%d %v",
+				rows[i].K, rows[i].ECPOnly, rows[i-1].K, rows[i-1].ECPOnly)
+		}
+	}
+	// The paper's argument: even ECP-6 alone stays below Max-WE stacked
+	// on the same boosted device.
+	last := rows[len(rows)-1]
+	if last.ECPOnly >= last.ECPPlusMaxWE {
+		t.Fatalf("ECP-6 alone (%v) not below ECP-6+Max-WE (%v)",
+			last.ECPOnly, last.ECPPlusMaxWE)
+	}
+	// ECP-6 on 512-bit lines costs the canonical 11.9%.
+	if math.Abs(last.CapacityOverhead-0.119) > 0.001 {
+		t.Fatalf("ECP-6 overhead = %v", last.CapacityOverhead)
+	}
+}
+
+func TestCoverageStudyShape(t *testing.T) {
+	rows := CoverageStudy(QuickSetup(), []float64{0.5, 0.95, 1.0})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Max-WE always beats unprotected under any coverage.
+		if r.MaxWE <= r.Unprotected {
+			t.Fatalf("coverage %v: Max-WE %v <= unprotected %v",
+				r.Coverage, r.MaxWE, r.Unprotected)
+		}
+	}
+	// Section 3.2's point: 95% coverage retains nearly the full attack
+	// effect — the unprotected lifetime stays within 2x of the full
+	// sweep's (both are collapsed).
+	full := rows[2].Unprotected
+	at95 := rows[1].Unprotected
+	if at95 > 3*full {
+		t.Fatalf("95%% coverage attack much weaker than full: %v vs %v", at95, full)
+	}
+}
+
+func TestGuardStudyStretchesTime(t *testing.T) {
+	rows := GuardStudy(QuickSetup(), 1e6)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Stretch != 1 {
+		t.Fatalf("baseline stretch = %v", rows[0].Stretch)
+	}
+	// The 50x throttle should stretch time-to-failure by tens of x
+	// (detection happens within the first window, so nearly the whole
+	// attack runs throttled).
+	if rows[1].Stretch < 20 {
+		t.Fatalf("guard stretch = %vx, want >= 20x", rows[1].Stretch)
+	}
+	if rows[1].Days <= rows[0].Days {
+		t.Fatal("guarded time not longer")
+	}
+}
+
+func TestGuardStudyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GuardStudy(QuickSetup(), 0)
+}
+
+func TestOracleStudyInvertsRanking(t *testing.T) {
+	rows := OracleStudy(midSetup())
+	by := map[string]OracleRow{}
+	for _, r := range rows {
+		if r.UAA <= 0 || r.Oracle <= 0 {
+			t.Fatalf("%s: degenerate lifetimes %+v", r.Scheme, r)
+		}
+		by[r.Scheme] = r
+	}
+	// Against the oblivious UAA, Max-WE wins (the paper's result)...
+	if !(by["max-we"].UAA > by["ps-worst"].UAA) {
+		t.Fatalf("UAA: max-we %v not above ps-worst %v", by["max-we"].UAA, by["ps-worst"].UAA)
+	}
+	// ...but an endurance-aware adversary inverts it: strong spares
+	// (ps-worst) are robust, while weak-priority sparing collapses
+	// because its entire reserve is weak lines.
+	if !(by["ps-worst"].Oracle > 2*by["max-we"].Oracle) {
+		t.Fatalf("oracle: ps-worst %v not clearly above max-we %v",
+			by["ps-worst"].Oracle, by["max-we"].Oracle)
+	}
+	// Every scheme loses lifetime against the informed adversary.
+	for _, r := range rows {
+		if r.Oracle >= r.UAA {
+			t.Fatalf("%s: oracle attack (%v) not stronger than UAA (%v)",
+				r.Scheme, r.Oracle, r.UAA)
+		}
+	}
+}
+
+func TestProfileSensitivity(t *testing.T) {
+	rows := ProfileSensitivity(QuickSetup())
+	if len(rows) != 3 {
+		t.Fatalf("got %d profile families", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, ps := range rows {
+		seen[ps.ProfileName] = true
+		by := map[string]float64{}
+		for _, r := range ps.Rows {
+			by[r.Scheme] = r.Normalized
+		}
+		// The headline ordering must hold under every distribution.
+		if !(by["max-we"] > by["pcd/ps"] && by["pcd/ps"] > by["none"]) {
+			t.Fatalf("%s: ordering broken: %+v", ps.ProfileName, ps.Rows)
+		}
+	}
+	for _, name := range []string{"linear", "power-law", "lognormal"} {
+		if !seen[name] {
+			t.Fatalf("missing family %s", name)
+		}
+	}
+}
+
+func TestWLZooOrdering(t *testing.T) {
+	rows := WLZoo(QuickSetup())
+	if len(rows) != len(ZooNames()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byWL := map[string]ZooRow{}
+	for _, r := range rows {
+		if r.Normalized <= 0 {
+			t.Fatalf("%s: degenerate lifetime", r.WL)
+		}
+		byWL[r.WL] = r
+	}
+	// Deterministic movement cannot resist a hammering adversary the way
+	// randomization does.
+	if byWL["start-gap"].Normalized >= byWL["tlsr"].Normalized {
+		t.Fatalf("start-gap (%v) not below tlsr (%v) under BPA",
+			byWL["start-gap"].Normalized, byWL["tlsr"].Normalized)
+	}
+	// Endurance-aware randomization tops the zoo.
+	if byWL["wawl"].Normalized <= byWL["tlsr"].Normalized {
+		t.Fatalf("wawl (%v) not above tlsr (%v)",
+			byWL["wawl"].Normalized, byWL["tlsr"].Normalized)
+	}
+	// Identity pays no amplification.
+	if byWL["identity"].Amplification != 1 {
+		t.Fatalf("identity amplification = %v", byWL["identity"].Amplification)
+	}
+}
+
+func TestSeedSweep(t *testing.T) {
+	s := QuickSetup()
+	calls := 0
+	mean, sd := SeedSweep(s, 4, func(run Setup) float64 {
+		calls++
+		if run.Seed == s.Seed {
+			t.Fatal("SeedSweep reused the base seed")
+		}
+		return float64(run.Seed % 7)
+	})
+	if calls != 4 {
+		t.Fatalf("metric called %d times", calls)
+	}
+	if mean < 0 || sd < 0 {
+		t.Fatal("degenerate statistics")
+	}
+	// Constant metric: zero spread.
+	_, sd = SeedSweep(s, 3, func(Setup) float64 { return 5 })
+	if sd != 0 {
+		t.Fatalf("constant metric stddev = %v", sd)
+	}
+}
+
+func TestSeedSweepPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SeedSweep(QuickSetup(), 0, func(Setup) float64 { return 0 }) },
+		func() { SeedSweep(QuickSetup(), 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSalvageStudyOrdering(t *testing.T) {
+	rows := SalvageStudy(QuickSetup())
+	byPolicy := map[string]float64{}
+	for _, r := range rows {
+		if r.RoundsTo90 <= 0 {
+			t.Fatalf("%s: degenerate result %v", r.Policy, r.RoundsTo90)
+		}
+		byPolicy[r.Policy] = r.RoundsTo90
+	}
+	if len(byPolicy) != 4 {
+		t.Fatalf("got %d policies", len(byPolicy))
+	}
+	// Every salvaging policy must outlive the no-salvaging baseline.
+	for _, policy := range []string{"ecp-6", "payg", "drm"} {
+		if byPolicy[policy] < byPolicy["line-kill"] {
+			t.Fatalf("%s (%v) below line-kill (%v)", policy, byPolicy[policy], byPolicy["line-kill"])
+		}
+	}
+	// PAYG's pooled budget must beat the same budget split per line
+	// (failures cluster in weak lines — Qureshi's argument).
+	if byPolicy["payg"] <= byPolicy["ecp-6"] {
+		t.Fatalf("payg (%v) not above ecp-6 (%v)", byPolicy["payg"], byPolicy["ecp-6"])
+	}
+}
+
+func TestTLSRModelCheck(t *testing.T) {
+	s := QuickSetup() // 128x8 = 1024 lines, a power of two
+	r := TLSRModelCheck(s)
+	// Both randomizers must spread the 16-victim hammer to
+	// near-uniformity: the coefficient of variation of per-line writes
+	// stays below 0.6, versus ~sqrt(N/16) ≈ 8 for no wear leveling.
+	if r.BehavioralSpreadCV > 0.6 {
+		t.Fatalf("behavioural TLSR spread CV = %v, want < 0.6", r.BehavioralSpreadCV)
+	}
+	if r.ExactSpreadCV > 0.6 {
+		t.Fatalf("exact security refresh spread CV = %v, want < 0.6", r.ExactSpreadCV)
+	}
+	// Both mechanisms pay remap traffic.
+	if r.BehavioralAmp <= 1 || r.ExactAmp <= 1 {
+		t.Fatalf("amplifications %v/%v, want > 1", r.BehavioralAmp, r.ExactAmp)
+	}
+}
+
+func TestTLSRModelCheckPanicsOnNonPowerOfTwo(t *testing.T) {
+	s := QuickSetup()
+	s.Regions = 100 // 800 lines
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TLSRModelCheck(s)
+}

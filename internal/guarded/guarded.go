@@ -1,0 +1,125 @@
+// Package guarded combines the write-pattern monitor with a throttling
+// response — the dynamic defense the static Max-WE provisioning leaves on
+// the table. Throttling cannot change how many writes the device can
+// absorb (that is physics), but it changes how fast an attacker can spend
+// them: once the monitor flags a window, admission drops to the throttled
+// rate, stretching the wall-clock time to failure by the rate ratio while
+// benign traffic (never flagged) runs at full speed.
+//
+// The stack therefore tracks simulated wall-clock time: every admitted
+// write advances time by 1/rate at the current admission rate.
+package guarded
+
+import (
+	"fmt"
+
+	"maxwe/internal/detect"
+	"maxwe/internal/sim"
+)
+
+// Policy sets the admission rates in writes per second.
+type Policy struct {
+	// NormalRate applies while the stream looks benign.
+	NormalRate float64
+	// ThrottledRate applies from the first flagged window on (sticky
+	// until RecoveryWindows consecutive benign windows pass).
+	ThrottledRate float64
+	// RecoveryWindows is how many consecutive benign windows lift the
+	// throttle (0 = never recover).
+	RecoveryWindows int
+}
+
+// DefaultPolicy throttles 50x on detection and recovers after 16 clean
+// windows.
+func DefaultPolicy(rate float64) Policy {
+	return Policy{NormalRate: rate, ThrottledRate: rate / 50, RecoveryWindows: 16}
+}
+
+func (p Policy) validate() error {
+	if p.NormalRate <= 0 || p.ThrottledRate <= 0 || p.ThrottledRate > p.NormalRate {
+		return fmt.Errorf("guarded: rates must satisfy 0 < throttled <= normal, got %+v", p)
+	}
+	if p.RecoveryWindows < 0 {
+		return fmt.Errorf("guarded: negative recovery windows")
+	}
+	return nil
+}
+
+// Stack is a monitored, throttled, trace-driven NVM stack.
+type Stack struct {
+	st     *sim.Stepper
+	mon    *detect.Monitor
+	policy Policy
+
+	throttled    bool
+	cleanStreak  int
+	seconds      float64
+	flaggedAt    float64 // seconds at first detection, -1 before
+	everThrottle bool
+}
+
+// New builds a guarded stack over a stepper. The monitor config may be
+// zero-valued for defaults.
+func New(st *sim.Stepper, monCfg detect.Config, policy Policy) (*Stack, error) {
+	if st == nil {
+		return nil, fmt.Errorf("guarded: nil stepper")
+	}
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	mon, err := detect.NewMonitor(monCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{st: st, mon: mon, policy: policy, flaggedAt: -1}, nil
+}
+
+// Write admits one user write to logical line lla, advancing simulated
+// time at the current admission rate. It returns false once the device
+// has failed.
+func (g *Stack) Write(lla int) bool {
+	rate := g.policy.NormalRate
+	if g.throttled {
+		rate = g.policy.ThrottledRate
+	}
+	g.seconds += 1 / rate
+
+	if v, done := g.mon.Observe(lla); done {
+		if v != detect.Benign {
+			if !g.throttled {
+				g.throttled = true
+				g.everThrottle = true
+				if g.flaggedAt < 0 {
+					g.flaggedAt = g.seconds
+				}
+			}
+			g.cleanStreak = 0
+		} else if g.throttled && g.policy.RecoveryWindows > 0 {
+			g.cleanStreak++
+			if g.cleanStreak >= g.policy.RecoveryWindows {
+				g.throttled = false
+				g.cleanStreak = 0
+			}
+		}
+	}
+	return g.st.Write(lla)
+}
+
+// Failed reports whether the device has failed.
+func (g *Stack) Failed() bool { return g.st.Failed() }
+
+// LogicalLines returns the stack's logical space size.
+func (g *Stack) LogicalLines() int { return g.st.LogicalLines() }
+
+// Seconds returns the simulated wall-clock time elapsed.
+func (g *Stack) Seconds() float64 { return g.seconds }
+
+// Throttled reports whether the stack is currently throttled.
+func (g *Stack) Throttled() bool { return g.throttled }
+
+// DetectedAt returns the simulated time of first detection, or -1 if the
+// stream was never flagged.
+func (g *Stack) DetectedAt() float64 { return g.flaggedAt }
+
+// Result returns the underlying lifetime summary.
+func (g *Stack) Result() sim.Result { return g.st.Result() }

@@ -1,0 +1,149 @@
+package guarded
+
+import (
+	"testing"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/detect"
+	"maxwe/internal/endurance"
+	"maxwe/internal/sim"
+	"maxwe/internal/spare"
+	"maxwe/internal/xrand"
+)
+
+func newStepper(t *testing.T) *sim.Stepper {
+	t.Helper()
+	p := endurance.Linear(64, 8, 40, 2000).Shuffled(xrand.New(1))
+	st, err := sim.NewStepper(sim.Config{
+		Profile: p,
+		Scheme:  spare.NewMaxWE(p, spare.DefaultMaxWEOptions()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestValidation(t *testing.T) {
+	st := newStepper(t)
+	if _, err := New(nil, detect.Config{}, DefaultPolicy(1e6)); err == nil {
+		t.Fatal("nil stepper accepted")
+	}
+	bad := []Policy{
+		{NormalRate: 0, ThrottledRate: 1},
+		{NormalRate: 1, ThrottledRate: 0},
+		{NormalRate: 1, ThrottledRate: 2},
+		{NormalRate: 2, ThrottledRate: 1, RecoveryWindows: -1},
+	}
+	for i, p := range bad {
+		if _, err := New(st, detect.Config{}, p); err == nil {
+			t.Fatalf("bad policy %d accepted", i)
+		}
+	}
+	if _, err := New(st, detect.Config{WindowSize: 1}, DefaultPolicy(1e6)); err == nil {
+		t.Fatal("bad monitor config accepted")
+	}
+}
+
+func TestThrottlingStretchesAttackTime(t *testing.T) {
+	// Run UAA to failure through a guarded and an unguarded stack; both
+	// absorb the same number of writes, but the guarded one takes ~50x
+	// the wall-clock time once throttled.
+	const rate = 1e6
+
+	unguarded, err := New(newStepper(t), detect.Config{},
+		Policy{NormalRate: rate, ThrottledRate: rate}) // throttle = no-op
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attack.NewUAA()
+	for unguarded.Write(a.Next(unguarded.LogicalLines())) {
+	}
+
+	guardedStack, err := New(newStepper(t), detect.Config{}, DefaultPolicy(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = attack.NewUAA()
+	for guardedStack.Write(a.Next(guardedStack.LogicalLines())) {
+	}
+
+	if unguarded.Result().UserWrites != guardedStack.Result().UserWrites {
+		t.Fatalf("write budgets differ: %d vs %d",
+			unguarded.Result().UserWrites, guardedStack.Result().UserWrites)
+	}
+	stretch := guardedStack.Seconds() / unguarded.Seconds()
+	if stretch < 20 {
+		t.Fatalf("guard stretched attack time only %.1fx, want >= 20x", stretch)
+	}
+	if guardedStack.DetectedAt() < 0 {
+		t.Fatal("attack never detected")
+	}
+	if !guardedStack.Throttled() {
+		t.Fatal("stack not throttled at failure")
+	}
+}
+
+func TestBenignTrafficRunsAtFullRate(t *testing.T) {
+	g, err := New(newStepper(t), detect.Config{}, DefaultPolicy(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := attack.NewHotCold(g.LogicalLines(), 1.1, xrand.New(2))
+	const writes = 20_000
+	for i := 0; i < writes && !g.Failed(); i++ {
+		g.Write(hc.Next(g.LogicalLines()))
+	}
+	if g.Throttled() {
+		t.Fatal("benign traffic throttled")
+	}
+	wantSeconds := float64(writes) / 1e6
+	if g.Seconds() > wantSeconds*1.01 {
+		t.Fatalf("benign time %.6fs, want ~%.6fs", g.Seconds(), wantSeconds)
+	}
+	if g.DetectedAt() >= 0 {
+		t.Fatal("benign traffic flagged")
+	}
+}
+
+func TestRecoveryAfterAttackStops(t *testing.T) {
+	g, err := New(newStepper(t), detect.Config{WindowSize: 256},
+		Policy{NormalRate: 1e6, ThrottledRate: 1e4, RecoveryWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attack phase: get flagged.
+	a := attack.NewUAA()
+	for i := 0; i < 512; i++ {
+		g.Write(a.Next(g.LogicalLines()))
+	}
+	if !g.Throttled() {
+		t.Fatal("attack phase not throttled")
+	}
+	// Benign phase: after 2 clean windows the throttle lifts.
+	hc := attack.NewHotCold(g.LogicalLines(), 1.1, xrand.New(3))
+	for i := 0; i < 256*3 && g.Throttled(); i++ {
+		g.Write(hc.Next(g.LogicalLines()))
+	}
+	if g.Throttled() {
+		t.Fatal("throttle never recovered after the attack stopped")
+	}
+}
+
+func TestWriteAfterFailureRejected(t *testing.T) {
+	p := endurance.Uniform(1, 2, 1)
+	st, err := sim.NewStepper(sim.Config{Profile: p, Scheme: spare.NewNone(p.Lines())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(st, detect.Config{}, DefaultPolicy(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Write(0) {
+		t.Fatal("first write should kill the 1-endurance device")
+	}
+	if g.Write(1) {
+		t.Fatal("write accepted after failure")
+	}
+}

@@ -1,0 +1,34 @@
+package mapping_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/mapping"
+)
+
+// The Section 5.3.2 storage comparison: the hybrid RMT+LMT organization
+// against a flat line-level table on the paper's 1 GB geometry.
+func ExampleOverhead() {
+	o := mapping.PaperOverhead()
+	fmt.Printf("hybrid %.2f MB, flat %.2f MB, saved %.0f%%\n",
+		mapping.BitsToMB(o.TotalBits()),
+		mapping.BitsToMB(o.TraditionalBits()),
+		o.Reduction()*100)
+	// Output:
+	// hybrid 0.16 MB, flat 1.10 MB, saved 86%
+}
+
+// The paper's Figure 3 walk-through: region 1 is rescued by spare region
+// 2; when line 5 (region 1, offset 1) wears out, accesses are redirected
+// to the paired spare line.
+func ExampleHybrid_Translate() {
+	h := mapping.NewHybrid(4) // 4 lines per region
+	h.RMT.AddPair(1, 2)
+
+	fmt.Println("before wear-out:", h.Translate(5))
+	h.RMT.MarkWorn(5)
+	fmt.Println("after wear-out: ", h.Translate(5))
+	// Output:
+	// before wear-out: 5
+	// after wear-out:  9
+}

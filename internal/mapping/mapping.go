@@ -1,0 +1,296 @@
+// Package mapping implements Max-WE's hybrid spare-line mapping management
+// (Section 4 of the paper): the Region Mapping Table (RMT) that records the
+// permanent region-level pairing between the Remaining Weakest Regions
+// (RWRs) and the Spare Weakest Regions (SWRs) together with a wear-out tag
+// per SWR line, the Line Mapping Table (LMT) that records dynamic
+// line-level replacements into the additional spare regions, and the
+// bit-exact storage-overhead model of Section 4.4 that yields the paper's
+// 0.16 MB vs 1.1 MB comparison.
+package mapping
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegionTable is the RMT: a permanent pra -> sra mapping plus one wear-out
+// tag per line of each pair. The mapping is established at boot from the
+// endurance profile and never changes; only the tags flip (false -> true)
+// as RWR lines wear out and get redirected.
+type RegionTable struct {
+	linesPerRegion int
+	entries        map[int]*regionEntry // keyed by pra (the RWR)
+	spareOf        map[int]int          // sra -> pra, for invariant checks
+}
+
+type regionEntry struct {
+	sra int
+	wot []bool // wear-out tag per intra-region line offset
+}
+
+// NewRegionTable creates an empty RMT for regions of the given size.
+func NewRegionTable(linesPerRegion int) *RegionTable {
+	if linesPerRegion <= 0 {
+		panic("mapping: NewRegionTable needs positive region size")
+	}
+	return &RegionTable{
+		linesPerRegion: linesPerRegion,
+		entries:        map[int]*regionEntry{},
+		spareOf:        map[int]int{},
+	}
+}
+
+// AddPair records the permanent rescue pairing pra (an RWR) -> sra (an
+// SWR). Each region may appear at most once on either side; violations
+// are programming errors and panic.
+func (t *RegionTable) AddPair(pra, sra int) {
+	if pra < 0 || sra < 0 {
+		panic("mapping: AddPair with negative region id")
+	}
+	if pra == sra {
+		panic("mapping: AddPair region cannot rescue itself")
+	}
+	if _, dup := t.entries[pra]; dup {
+		panic(fmt.Sprintf("mapping: region %d already has a spare", pra))
+	}
+	if _, dup := t.spareOf[sra]; dup {
+		panic(fmt.Sprintf("mapping: spare region %d already allocated", sra))
+	}
+	if _, cross := t.entries[sra]; cross {
+		panic(fmt.Sprintf("mapping: spare region %d is itself an RWR", sra))
+	}
+	if _, cross := t.spareOf[pra]; cross {
+		panic(fmt.Sprintf("mapping: RWR %d is itself a spare", pra))
+	}
+	t.entries[pra] = &regionEntry{sra: sra, wot: make([]bool, t.linesPerRegion)}
+	t.spareOf[sra] = pra
+}
+
+// Len returns the number of region pairs.
+func (t *RegionTable) Len() int { return len(t.entries) }
+
+// HasRegion reports whether region pra is an RWR with a recorded spare.
+func (t *RegionTable) HasRegion(pra int) bool {
+	_, ok := t.entries[pra]
+	return ok
+}
+
+// IsSpare reports whether region r is allocated as an SWR.
+func (t *RegionTable) IsSpare(r int) bool {
+	_, ok := t.spareOf[r]
+	return ok
+}
+
+// SpareOf returns the SWR paired with RWR pra, or -1 if pra is not mapped.
+func (t *RegionTable) SpareOf(pra int) int {
+	e, ok := t.entries[pra]
+	if !ok {
+		return -1
+	}
+	return e.sra
+}
+
+// MarkWorn sets the wear-out tag for physical line pla, which must belong
+// to a mapped RWR, and returns the replacement line in the paired SWR.
+func (t *RegionTable) MarkWorn(pla int) (spareLine int) {
+	pra := pla / t.linesPerRegion
+	e, ok := t.entries[pra]
+	if !ok {
+		panic(fmt.Sprintf("mapping: MarkWorn(%d): region %d is not an RWR", pla, pra))
+	}
+	off := pla % t.linesPerRegion
+	e.wot[off] = true
+	return e.sra*t.linesPerRegion + off
+}
+
+// Translate resolves physical line pla through the RMT. If pla belongs to
+// a mapped RWR and its wear-out tag is set, it returns the corresponding
+// SWR line and true; otherwise it returns pla and false.
+func (t *RegionTable) Translate(pla int) (line int, replaced bool) {
+	pra := pla / t.linesPerRegion
+	e, ok := t.entries[pra]
+	if !ok {
+		return pla, false
+	}
+	off := pla % t.linesPerRegion
+	if !e.wot[off] {
+		return pla, false
+	}
+	return e.sra*t.linesPerRegion + off, true
+}
+
+// WornTags returns how many wear-out tags are set across all pairs.
+func (t *RegionTable) WornTags() int {
+	n := 0
+	for _, e := range t.entries {
+		for _, w := range e.wot {
+			if w {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// LineTable is the LMT: dynamic line-level mapping from a worn physical
+// line (outside the RWRs) to its replacement spare line.
+type LineTable struct {
+	m map[int]int // worn pla -> spare pla
+	// inUse tracks spare lines currently serving as a replacement so a
+	// double allocation is caught immediately.
+	inUse map[int]int // spare pla -> worn pla
+}
+
+// NewLineTable creates an empty LMT.
+func NewLineTable() *LineTable {
+	return &LineTable{m: map[int]int{}, inUse: map[int]int{}}
+}
+
+// Len returns the number of live entries.
+func (t *LineTable) Len() int { return len(t.m) }
+
+// Lookup returns the replacement for pla, if any.
+func (t *LineTable) Lookup(pla int) (spare int, ok bool) {
+	s, ok := t.m[pla]
+	return s, ok
+}
+
+// Add records pla -> spare. Re-adding an existing pla replaces the old
+// entry (the paper's "remove the old entry from LMT before adding a new
+// one" when a spare line itself wears out). Allocating a spare line that
+// is already in use panics.
+func (t *LineTable) Add(pla, spare int) {
+	if pla == spare {
+		panic("mapping: LMT entry cannot map a line to itself")
+	}
+	if owner, busy := t.inUse[spare]; busy && owner != pla {
+		panic(fmt.Sprintf("mapping: spare line %d already rescues line %d", spare, owner))
+	}
+	if old, ok := t.m[pla]; ok {
+		delete(t.inUse, old)
+	}
+	t.m[pla] = spare
+	t.inUse[spare] = pla
+}
+
+// Remove deletes the entry for pla if present.
+func (t *LineTable) Remove(pla int) {
+	if s, ok := t.m[pla]; ok {
+		delete(t.inUse, s)
+		delete(t.m, pla)
+	}
+}
+
+// SpareInUse reports whether spare currently backs some worn line.
+func (t *LineTable) SpareInUse(spare int) bool {
+	_, ok := t.inUse[spare]
+	return ok
+}
+
+// Hybrid combines the two tables and implements the address-translation
+// path of Section 4.2: LMT first, then RMT; and because a SWR line that
+// replaced an RWR line can itself wear out and be rescued through the LMT,
+// the RMT result is chased through the LMT one more step.
+type Hybrid struct {
+	RMT *RegionTable
+	LMT *LineTable
+}
+
+// NewHybrid creates a hybrid mapper for regions of the given size.
+func NewHybrid(linesPerRegion int) *Hybrid {
+	return &Hybrid{RMT: NewRegionTable(linesPerRegion), LMT: NewLineTable()}
+}
+
+// Translate maps the wear-leveled physical line address to the line that
+// actually stores the data.
+func (h *Hybrid) Translate(pla int) int {
+	if s, ok := h.LMT.Lookup(pla); ok {
+		return s
+	}
+	line, replaced := h.RMT.Translate(pla)
+	if replaced {
+		if s, ok := h.LMT.Lookup(line); ok {
+			return s
+		}
+	}
+	return line
+}
+
+// Overhead is the storage-cost model of Section 4.4. All sizes are in
+// bits unless named otherwise.
+type Overhead struct {
+	// Lines is N, the total number of lines in the memory.
+	Lines int
+	// Regions is R.
+	Regions int
+	// SpareFraction is S/N, the share of capacity reserved as spares
+	// (the paper's 10%).
+	SpareFraction float64
+	// SWRFraction is q, the share of the spare lines managed at region
+	// level as SWRs (the paper's 90%).
+	SWRFraction float64
+}
+
+// PaperOverhead returns the configuration of Section 5.3.2: a 1 GB memory
+// with 256 B lines (4 Mi lines) divided into 2048 regions, 10% spares, 90%
+// of them SWRs.
+func PaperOverhead() Overhead {
+	return Overhead{
+		Lines:         1 << 22, // 1 GiB / 256 B
+		Regions:       2048,
+		SpareFraction: 0.10,
+		SWRFraction:   0.90,
+	}
+}
+
+func (o Overhead) validate() {
+	if o.Lines <= 0 || o.Regions <= 0 || o.Lines%o.Regions != 0 {
+		panic("mapping: Overhead needs Lines divisible by positive Regions")
+	}
+	if o.SpareFraction < 0 || o.SpareFraction >= 1 || o.SWRFraction < 0 || o.SWRFraction > 1 {
+		panic("mapping: Overhead fractions out of range")
+	}
+}
+
+// SpareLines returns S.
+func (o Overhead) SpareLines() float64 { return o.SpareFraction * float64(o.Lines) }
+
+// LMTBits returns the line-level table cost (1-q) * S * log2(N).
+func (o Overhead) LMTBits() float64 {
+	o.validate()
+	return (1 - o.SWRFraction) * o.SpareLines() * math.Log2(float64(o.Lines))
+}
+
+// RMTBits returns the region-level table cost (q*S*R*log2(R))/N.
+func (o Overhead) RMTBits() float64 {
+	o.validate()
+	return o.SWRFraction * o.SpareLines() * float64(o.Regions) *
+		math.Log2(float64(o.Regions)) / float64(o.Lines)
+}
+
+// TagBits returns the wear-out tag cost, one bit per SWR line: q * S.
+func (o Overhead) TagBits() float64 {
+	o.validate()
+	return o.SWRFraction * o.SpareLines()
+}
+
+// TotalBits returns Max-WE's full mapping cost: LMT + RMT + tags.
+func (o Overhead) TotalBits() float64 {
+	return o.LMTBits() + o.RMTBits() + o.TagBits()
+}
+
+// TraditionalBits returns the cost of a pure line-level scheme (PCD-style):
+// S * log2(N).
+func (o Overhead) TraditionalBits() float64 {
+	o.validate()
+	return o.SpareLines() * math.Log2(float64(o.Lines))
+}
+
+// Reduction returns the fraction of the traditional cost saved by the
+// hybrid scheme (the paper reports 85.0%).
+func (o Overhead) Reduction() float64 {
+	return 1 - o.TotalBits()/o.TraditionalBits()
+}
+
+// BitsToMB converts bits to binary megabytes.
+func BitsToMB(bits float64) float64 { return bits / 8 / (1 << 20) }

@@ -1,0 +1,281 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionTablePairAndTranslate(t *testing.T) {
+	rt := NewRegionTable(4)
+	rt.AddPair(1, 2) // region 1 rescued by region 2
+	if rt.Len() != 1 || !rt.HasRegion(1) || !rt.IsSpare(2) {
+		t.Fatal("pair not recorded")
+	}
+	if rt.SpareOf(1) != 2 || rt.SpareOf(3) != -1 {
+		t.Fatal("SpareOf wrong")
+	}
+	// Untagged line translates to itself.
+	if l, rep := rt.Translate(5); l != 5 || rep {
+		t.Fatalf("Translate(5) = %d,%v before wear-out", l, rep)
+	}
+	// Mark line 5 (region 1, offset 1) worn: replacement is region 2 offset 1 = line 9.
+	if spare := rt.MarkWorn(5); spare != 9 {
+		t.Fatalf("MarkWorn(5) = %d, want 9", spare)
+	}
+	if l, rep := rt.Translate(5); l != 9 || !rep {
+		t.Fatalf("Translate(5) = %d,%v after wear-out", l, rep)
+	}
+	// Other offsets in region 1 unaffected.
+	if l, rep := rt.Translate(4); l != 4 || rep {
+		t.Fatalf("Translate(4) = %d,%v", l, rep)
+	}
+	// Lines outside RWRs unaffected.
+	if l, rep := rt.Translate(0); l != 0 || rep {
+		t.Fatalf("Translate(0) = %d,%v", l, rep)
+	}
+	if rt.WornTags() != 1 {
+		t.Fatalf("WornTags = %d", rt.WornTags())
+	}
+}
+
+func TestRegionTablePanics(t *testing.T) {
+	cases := []func(rt *RegionTable){
+		func(rt *RegionTable) { rt.AddPair(-1, 2) },
+		func(rt *RegionTable) { rt.AddPair(3, 3) },
+		func(rt *RegionTable) { rt.AddPair(1, 4) }, // duplicate pra (1 added below)
+		func(rt *RegionTable) { rt.AddPair(5, 2) }, // duplicate sra
+		func(rt *RegionTable) { rt.AddPair(2, 6) }, // spare used as RWR
+		func(rt *RegionTable) { rt.AddPair(6, 1) }, // RWR used as spare
+		func(rt *RegionTable) { rt.MarkWorn(0) },   // region 0 not an RWR
+	}
+	for i, f := range cases {
+		rt := NewRegionTable(4)
+		rt.AddPair(1, 2)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f(rt)
+		}()
+	}
+}
+
+func TestNewRegionTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRegionTable(0) did not panic")
+		}
+	}()
+	NewRegionTable(0)
+}
+
+func TestLineTableBasics(t *testing.T) {
+	lt := NewLineTable()
+	if _, ok := lt.Lookup(7); ok {
+		t.Fatal("empty LMT returned an entry")
+	}
+	lt.Add(7, 100)
+	if s, ok := lt.Lookup(7); !ok || s != 100 {
+		t.Fatalf("Lookup(7) = %d,%v", s, ok)
+	}
+	if !lt.SpareInUse(100) || lt.SpareInUse(101) {
+		t.Fatal("SpareInUse wrong")
+	}
+	if lt.Len() != 1 {
+		t.Fatalf("Len = %d", lt.Len())
+	}
+	// Re-adding replaces and frees the old spare.
+	lt.Add(7, 101)
+	if s, _ := lt.Lookup(7); s != 101 {
+		t.Fatalf("replacement entry = %d", s)
+	}
+	if lt.SpareInUse(100) {
+		t.Fatal("old spare still marked in use")
+	}
+	lt.Remove(7)
+	if lt.Len() != 0 || lt.SpareInUse(101) {
+		t.Fatal("Remove did not clear entry")
+	}
+	lt.Remove(7) // idempotent
+}
+
+func TestLineTableDoubleAllocationPanics(t *testing.T) {
+	lt := NewLineTable()
+	lt.Add(1, 50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double spare allocation did not panic")
+		}
+	}()
+	lt.Add(2, 50)
+}
+
+func TestLineTableSelfMapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-map did not panic")
+		}
+	}()
+	NewLineTable().Add(3, 3)
+}
+
+func TestHybridTranslationOrder(t *testing.T) {
+	h := NewHybrid(4)
+	h.RMT.AddPair(0, 1)
+	// Fresh line: identity.
+	if h.Translate(2) != 2 {
+		t.Fatal("identity translation broken")
+	}
+	// RWR line 2 wears out -> SWR line 6.
+	h.RMT.MarkWorn(2)
+	if h.Translate(2) != 6 {
+		t.Fatalf("Translate(2) = %d, want 6", h.Translate(2))
+	}
+	// LMT entry takes priority for a line outside RWRs.
+	h.LMT.Add(10, 14)
+	if h.Translate(10) != 14 {
+		t.Fatalf("Translate(10) = %d, want 14", h.Translate(10))
+	}
+	// Chain: the SWR replacement line 6 itself wears out and is rescued
+	// through the LMT.
+	h.LMT.Add(6, 15)
+	if h.Translate(2) != 15 {
+		t.Fatalf("chained Translate(2) = %d, want 15", h.Translate(2))
+	}
+}
+
+// Property: hybrid translation of untouched lines is the identity, and a
+// translated address never equals a different line's translation target
+// unless explicitly mapped there (injectivity over live mappings).
+func TestHybridInjectivityProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		h := NewHybrid(4)
+		h.RMT.AddPair(0, 1)
+		h.RMT.AddPair(2, 3)
+		// Wear out a deterministic subset driven by seed bits.
+		for off := 0; off < 4; off++ {
+			if seed&(1<<off) != 0 {
+				h.RMT.MarkWorn(off) // region 0 lines
+			}
+			if seed&(1<<(4+off%4)) != 0 {
+				h.RMT.MarkWorn(8 + off) // region 2 lines
+			}
+		}
+		// Injectivity is over the user address space only: regions 1 and
+		// 3 are spares and never appear as translation inputs.
+		seen := map[int]int{}
+		for _, pla := range []int{0, 1, 2, 3, 8, 9, 10, 11} {
+			tgt := h.Translate(pla)
+			if prev, dup := seen[tgt]; dup {
+				_ = prev
+				return false
+			}
+			seen[tgt] = pla
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperOverheadNumbers(t *testing.T) {
+	// Section 5.3.2: "the mapping table overhead of Max-WE and line-level
+	// mapping are about 0.16MB and 1.1MB ... only 15.0% of the
+	// traditional spare-line replacement schemes" (i.e. 85% reduction).
+	o := PaperOverhead()
+	gotMB := BitsToMB(o.TotalBits())
+	if math.Abs(gotMB-0.16) > 0.01 {
+		t.Fatalf("Max-WE overhead = %.3f MB, want ~0.16", gotMB)
+	}
+	tradMB := BitsToMB(o.TraditionalBits())
+	if math.Abs(tradMB-1.1) > 0.01 {
+		t.Fatalf("traditional overhead = %.3f MB, want ~1.1", tradMB)
+	}
+	if r := o.Reduction(); math.Abs(r-0.85) > 0.01 {
+		t.Fatalf("reduction = %.3f, want ~0.85", r)
+	}
+}
+
+func TestOverheadComponents(t *testing.T) {
+	o := PaperOverhead()
+	// LMT: (1-0.9) * 0.1*2^22 * 22 bits.
+	wantLMT := 0.1 * 0.1 * float64(1<<22) * 22
+	if math.Abs(o.LMTBits()-wantLMT) > 1 {
+		t.Fatalf("LMTBits = %v, want %v", o.LMTBits(), wantLMT)
+	}
+	// Tags: 0.9 * S bits.
+	wantTags := 0.9 * 0.1 * float64(1<<22)
+	if math.Abs(o.TagBits()-wantTags) > 1 {
+		t.Fatalf("TagBits = %v, want %v", o.TagBits(), wantTags)
+	}
+	// RMT: (q*S*R*log2R)/N.
+	wantRMT := 0.9 * 0.1 * float64(1<<22) * 2048 * 11 / float64(1<<22)
+	if math.Abs(o.RMTBits()-wantRMT) > 1 {
+		t.Fatalf("RMTBits = %v, want %v", o.RMTBits(), wantRMT)
+	}
+}
+
+func TestOverheadEdgeFractions(t *testing.T) {
+	o := PaperOverhead()
+	o.SWRFraction = 1 // pure region-level
+	if o.LMTBits() != 0 {
+		t.Fatal("pure region-level scheme has LMT cost")
+	}
+	o.SWRFraction = 0 // pure line-level: LMT equals traditional table
+	if math.Abs(o.LMTBits()-o.TraditionalBits()) > 1e-9 {
+		t.Fatal("pure line-level LMT != traditional")
+	}
+	if o.TagBits() != 0 || o.RMTBits() != 0 {
+		t.Fatal("pure line-level scheme has region costs")
+	}
+}
+
+func TestOverheadValidatePanics(t *testing.T) {
+	cases := []Overhead{
+		{Lines: 0, Regions: 1, SpareFraction: 0.1, SWRFraction: 0.9},
+		{Lines: 10, Regions: 3, SpareFraction: 0.1, SWRFraction: 0.9},
+		{Lines: 8, Regions: 2, SpareFraction: -0.1, SWRFraction: 0.9},
+		{Lines: 8, Regions: 2, SpareFraction: 1.0, SWRFraction: 0.9},
+		{Lines: 8, Regions: 2, SpareFraction: 0.1, SWRFraction: 1.5},
+	}
+	for i, o := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			_ = o.TotalBits()
+		}()
+	}
+}
+
+// Property: reduction grows with the SWR fraction (more region-level
+// mapping always costs less storage).
+func TestReductionMonotoneInSWRFraction(t *testing.T) {
+	o := PaperOverhead()
+	prev := -1.0
+	for q := 0.0; q <= 1.0001; q += 0.05 {
+		o.SWRFraction = math.Min(q, 1)
+		r := o.Reduction()
+		if r < prev-1e-12 {
+			t.Fatalf("reduction decreased at q=%v", q)
+		}
+		prev = r
+	}
+}
+
+func BenchmarkHybridTranslate(b *testing.B) {
+	h := NewHybrid(32)
+	h.RMT.AddPair(1, 2)
+	h.RMT.MarkWorn(40)
+	h.LMT.Add(200, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Translate(i & 1023)
+	}
+}

@@ -1,0 +1,24 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/perfmodel"
+)
+
+// Project a normalized simulation result onto a physical 1 GB PCM module
+// under a saturating attacker — the paper's wall-clock framing of why the
+// 4% baseline is catastrophic and the 37% defense is livable.
+func ExampleProject() {
+	const lines = 1 << 22 // 1 GiB / 256 B
+	const enduranceMean = 1e8
+	const attackRate = 1e8 // line-writes per second
+
+	unprotected, _ := perfmodel.Project(0.04, lines, enduranceMean, attackRate)
+	protected, _ := perfmodel.Project(0.37, lines, enduranceMean, attackRate)
+	fmt.Println("unprotected:", perfmodel.FormatDuration(unprotected.Seconds))
+	fmt.Println("max-we:     ", perfmodel.FormatDuration(protected.Seconds))
+	// Output:
+	// unprotected: 46.6 hours
+	// max-we:      18.0 days
+}

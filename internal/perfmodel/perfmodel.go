@@ -1,0 +1,163 @@
+// Package perfmodel estimates the access-latency cost of the simulated
+// memory stack. The paper stores RMT and LMT in SRAM precisely to keep
+// the address-translation path fast (Section 4.1); this model quantifies
+// that argument: every user write pays the NVM program latency, a
+// translation cost that depends on the mapping organization, and its
+// share of the wear-leveling movement traffic.
+//
+// The numbers are first-order architectural estimates (fixed per-step
+// latencies, no queuing), which is the granularity the comparison needs:
+// hybrid-vs-flat mapping differs in SRAM macro size, and wear-leveling
+// differs in movement stalls.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the technology constants of the model. Defaults follow the
+// common PCM-era architectural literature.
+type Params struct {
+	// NVMWriteNs is the cell program latency per line write.
+	NVMWriteNs float64
+	// SRAMLookupNsPerMB scales lookup latency with the table macro size:
+	// bigger SRAM macros are slower. Lookup cost is
+	// BaseLookupNs + SRAMLookupNsPerMB * tableMB.
+	SRAMLookupNsPerMB float64
+	// BaseLookupNs is the floor cost of any table lookup.
+	BaseLookupNs float64
+}
+
+// DefaultParams returns PCM-era constants: 150 ns writes, 1 ns lookup
+// floor, +2 ns per MB of SRAM macro.
+func DefaultParams() Params {
+	return Params{
+		NVMWriteNs:        150,
+		SRAMLookupNsPerMB: 2,
+		BaseLookupNs:      1,
+	}
+}
+
+func (p Params) validate() error {
+	if p.NVMWriteNs <= 0 || p.BaseLookupNs < 0 || p.SRAMLookupNsPerMB < 0 {
+		return fmt.Errorf("perfmodel: invalid params %+v", p)
+	}
+	return nil
+}
+
+// Inputs describe one configuration's measured behaviour plus its
+// mapping-table sizes.
+type Inputs struct {
+	// UserWrites and DeviceWrites come from the simulation result; their
+	// ratio is the write amplification whose movement share stalls user
+	// writes.
+	UserWrites   int64
+	DeviceWrites int64
+	// TableMB is the total mapping-table SRAM (hybrid or flat).
+	TableMB float64
+	// LookupsPerAccess is how many table lookups one access performs
+	// (the hybrid path checks LMT then RMT: 2; a flat table: 1).
+	LookupsPerAccess int
+}
+
+func (in Inputs) validate() error {
+	switch {
+	case in.UserWrites <= 0:
+		return fmt.Errorf("perfmodel: UserWrites %d must be positive", in.UserWrites)
+	case in.DeviceWrites < in.UserWrites:
+		return fmt.Errorf("perfmodel: DeviceWrites %d below UserWrites %d", in.DeviceWrites, in.UserWrites)
+	case in.TableMB < 0:
+		return fmt.Errorf("perfmodel: negative TableMB")
+	case in.LookupsPerAccess < 0:
+		return fmt.Errorf("perfmodel: negative LookupsPerAccess")
+	}
+	return nil
+}
+
+// Estimate is the model output.
+type Estimate struct {
+	// TranslationNs is the table-lookup cost per user write.
+	TranslationNs float64
+	// MovementNs is the amortized wear-leveling/replacement movement
+	// stall per user write.
+	MovementNs float64
+	// TotalNsPerWrite is NVM write + translation + movement.
+	TotalNsPerWrite float64
+	// Overhead is TotalNsPerWrite / NVMWriteNs - 1: the fractional
+	// latency cost of the protection stack.
+	Overhead float64
+}
+
+// Projection scales a scaled-simulation result back to a physical device
+// and converts it to wall-clock time — the paper's "an NVM device will
+// fail within seconds without protection" framing.
+type Projection struct {
+	// WritesToFailure is the projected user-write count on the physical
+	// device.
+	WritesToFailure float64
+	// Seconds is the wall-clock time to failure at the given write rate.
+	Seconds float64
+}
+
+// Project converts a normalized lifetime (user writes / Σ endurance) to a
+// physical device with `lines` lines of `meanEndurance` average budget,
+// attacked or used at writesPerSecond line-writes per second.
+func Project(normalizedLifetime float64, lines int64, meanEndurance, writesPerSecond float64) (Projection, error) {
+	switch {
+	case normalizedLifetime < 0 || normalizedLifetime > 1:
+		return Projection{}, fmt.Errorf("perfmodel: normalized lifetime %v outside [0,1]", normalizedLifetime)
+	case lines <= 0:
+		return Projection{}, fmt.Errorf("perfmodel: lines %d must be positive", lines)
+	case meanEndurance <= 0:
+		return Projection{}, fmt.Errorf("perfmodel: meanEndurance %v must be positive", meanEndurance)
+	case writesPerSecond <= 0:
+		return Projection{}, fmt.Errorf("perfmodel: writesPerSecond %v must be positive", writesPerSecond)
+	}
+	writes := normalizedLifetime * float64(lines) * meanEndurance
+	return Projection{
+		WritesToFailure: writes,
+		Seconds:         writes / writesPerSecond,
+	}, nil
+}
+
+// FormatDuration renders seconds humanely across the enormous range the
+// projections span (seconds to centuries).
+func FormatDuration(seconds float64) string {
+	switch {
+	case seconds < 120:
+		return fmt.Sprintf("%.1f seconds", seconds)
+	case seconds < 2*3600:
+		return fmt.Sprintf("%.1f minutes", seconds/60)
+	case seconds < 2*86400:
+		return fmt.Sprintf("%.1f hours", seconds/3600)
+	case seconds < 2*365.25*86400:
+		return fmt.Sprintf("%.1f days", seconds/86400)
+	default:
+		return fmt.Sprintf("%.1f years", seconds/(365.25*86400))
+	}
+}
+
+// Evaluate runs the model.
+func Evaluate(p Params, in Inputs) (Estimate, error) {
+	if err := p.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := in.validate(); err != nil {
+		return Estimate{}, err
+	}
+	lookup := p.BaseLookupNs + p.SRAMLookupNsPerMB*in.TableMB
+	translation := float64(in.LookupsPerAccess) * lookup
+	amplification := float64(in.DeviceWrites) / float64(in.UserWrites)
+	movement := (amplification - 1) * p.NVMWriteNs
+	total := p.NVMWriteNs + translation + movement
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return Estimate{}, fmt.Errorf("perfmodel: degenerate inputs %+v", in)
+	}
+	return Estimate{
+		TranslationNs:   translation,
+		MovementNs:      movement,
+		TotalNsPerWrite: total,
+		Overhead:        total/p.NVMWriteNs - 1,
+	}, nil
+}

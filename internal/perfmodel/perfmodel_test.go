@@ -1,0 +1,158 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateComposition(t *testing.T) {
+	p := DefaultParams()
+	in := Inputs{
+		UserWrites:       1000,
+		DeviceWrites:     1100, // amplification 1.1
+		TableMB:          0.155,
+		LookupsPerAccess: 2,
+	}
+	e, err := Evaluate(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLookup := 2 * (1 + 2*0.155)
+	if math.Abs(e.TranslationNs-wantLookup) > 1e-9 {
+		t.Fatalf("translation = %v, want %v", e.TranslationNs, wantLookup)
+	}
+	wantMove := 0.1 * 150
+	if math.Abs(e.MovementNs-wantMove) > 1e-9 {
+		t.Fatalf("movement = %v, want %v", e.MovementNs, wantMove)
+	}
+	if math.Abs(e.TotalNsPerWrite-(150+wantLookup+wantMove)) > 1e-9 {
+		t.Fatal("total does not compose")
+	}
+	if e.Overhead <= 0 {
+		t.Fatal("protection stack reported free")
+	}
+}
+
+func TestNoAmplificationNoMovement(t *testing.T) {
+	e, err := Evaluate(DefaultParams(), Inputs{
+		UserWrites: 10, DeviceWrites: 10, TableMB: 0, LookupsPerAccess: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MovementNs != 0 || e.TranslationNs != 0 {
+		t.Fatalf("bare device has overheads: %+v", e)
+	}
+	if e.Overhead != 0 {
+		t.Fatalf("overhead = %v, want 0", e.Overhead)
+	}
+}
+
+func TestHybridCheaperThanFlatTable(t *testing.T) {
+	// The paper's §4.1 argument quantified: the hybrid table (0.155 MB,
+	// 2 lookups) translates faster than the flat table (1.1 MB, 1
+	// lookup) once SRAM size dominates lookup latency.
+	p := DefaultParams()
+	hybrid, err := Evaluate(p, Inputs{UserWrites: 1, DeviceWrites: 1,
+		TableMB: 0.155, LookupsPerAccess: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Evaluate(p, Inputs{UserWrites: 1, DeviceWrites: 1,
+		TableMB: 1.1, LookupsPerAccess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.TranslationNs >= flat.TranslationNs {
+		t.Fatalf("hybrid translation %v not below flat %v",
+			hybrid.TranslationNs, flat.TranslationNs)
+	}
+}
+
+func TestProjectScales(t *testing.T) {
+	// 4Mi lines x 1e8 endurance at 1e8 writes/s (PCM-scale bandwidth):
+	// the unprotected 4% lifetime lasts days; Max-WE's 37% lasts months.
+	p, err := Project(0.04, 1<<22, 1e8, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWrites := 0.04 * float64(int64(1)<<22) * 1e8
+	if math.Abs(p.WritesToFailure-wantWrites)/wantWrites > 1e-12 {
+		t.Fatalf("writes = %v, want %v", p.WritesToFailure, wantWrites)
+	}
+	if math.Abs(p.Seconds-wantWrites/1e8)/p.Seconds > 1e-12 {
+		t.Fatal("seconds inconsistent with rate")
+	}
+	// Ten times the lifetime, ten times the time.
+	p10, err := Project(0.4, 1<<22, 1e8, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p10.Seconds/p.Seconds-10) > 1e-9 {
+		t.Fatal("projection not linear in lifetime")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	cases := []struct {
+		nl, e, w float64
+		lines    int64
+	}{
+		{-0.1, 1, 1, 1},
+		{1.1, 1, 1, 1},
+		{0.5, 0, 1, 1},
+		{0.5, 1, 0, 1},
+		{0.5, 1, 1, 0},
+	}
+	for i, c := range cases {
+		if _, err := Project(c.nl, c.lines, c.e, c.w); err == nil {
+			t.Fatalf("bad projection %d accepted", i)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want string
+	}{
+		{30, "30.0 seconds"},
+		{300, "5.0 minutes"},
+		{7200, "2.0 hours"},
+		{86400 * 3, "3.0 days"},
+		{365.25 * 86400 * 2, "2.0 years"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.s); got != c.want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := Inputs{UserWrites: 1, DeviceWrites: 1, TableMB: 0, LookupsPerAccess: 1}
+	if _, err := Evaluate(DefaultParams(), good); err != nil {
+		t.Fatal(err)
+	}
+	badParams := []Params{
+		{NVMWriteNs: 0, BaseLookupNs: 1, SRAMLookupNsPerMB: 1},
+		{NVMWriteNs: 100, BaseLookupNs: -1, SRAMLookupNsPerMB: 1},
+		{NVMWriteNs: 100, BaseLookupNs: 1, SRAMLookupNsPerMB: -1},
+	}
+	for i, p := range badParams {
+		if _, err := Evaluate(p, good); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+	badInputs := []Inputs{
+		{UserWrites: 0, DeviceWrites: 1},
+		{UserWrites: 2, DeviceWrites: 1},
+		{UserWrites: 1, DeviceWrites: 1, TableMB: -1},
+		{UserWrites: 1, DeviceWrites: 1, LookupsPerAccess: -1},
+	}
+	for i, in := range badInputs {
+		if _, err := Evaluate(DefaultParams(), in); err == nil {
+			t.Fatalf("bad inputs %d accepted", i)
+		}
+	}
+}

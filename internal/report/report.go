@@ -1,0 +1,286 @@
+// Package report renders experiment results as fixed-width text tables,
+// CSV, and ASCII bar charts. The figure benchmarks and the cmd/figures
+// driver use it to print the same rows/series the paper's tables and
+// figures report.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows under a header and renders them aligned.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	if len(headers) == 0 {
+		panic("report: NewTable needs at least one column")
+	}
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v. The cell count must
+// match the header count.
+func (t *Table) AddRow(cells ...interface{}) {
+	if len(cells) != len(t.headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns",
+			len(cells), len(t.headers)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// WriteTo renders the table. It always returns a nil error from the
+// underlying writes being checked; the (int64, error) shape satisfies
+// io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int64
+	emit := func(format string, args ...interface{}) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if t.title != "" {
+		if err := emit("%s\n", t.title); err != nil {
+			return total, err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return emit("  %s\n", strings.Join(parts, "  "))
+	}
+	if err := line(t.headers); err != nil {
+		return total, err
+	}
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// JSON renders the table as a JSON array of objects keyed by the column
+// headers, with a trailing newline. Cell values stay strings (they were
+// formatted on AddRow); consumers that need numbers parse them.
+func (t *Table) JSON() string {
+	rows := make([]map[string]string, 0, len(t.rows))
+	for _, row := range t.rows {
+		m := make(map[string]string, len(t.headers))
+		for i, h := range t.headers {
+			m[h] = row[i]
+		}
+		rows = append(rows, m)
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		// Maps of strings always marshal; this is unreachable.
+		panic(err)
+	}
+	return string(out) + "\n"
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// LinePlot renders one or more y series over a shared x axis as an ASCII
+// grid, height rows tall. Series are drawn with distinct marks in the
+// order given ('*', 'o', 'x', '+', then letters); later series overdraw
+// earlier ones on collisions. All series must have len(xLabels) points
+// and non-negative values.
+func LinePlot(title string, xLabels []string, series map[string][]float64, height int) string {
+	if height < 2 {
+		panic("report: LinePlot needs height >= 2")
+	}
+	if len(xLabels) == 0 || len(series) == 0 {
+		panic("report: LinePlot needs data")
+	}
+	// Stable series order: sorted by name.
+	names := make([]string, 0, len(series))
+	maxV := 0.0
+	for name, ys := range series {
+		if len(ys) != len(xLabels) {
+			panic(fmt.Sprintf("report: series %q has %d points, want %d", name, len(ys), len(xLabels)))
+		}
+		for _, y := range ys {
+			if y < 0 {
+				panic("report: LinePlot values must be non-negative")
+			}
+			if y > maxV {
+				maxV = y
+			}
+		}
+		names = append(names, name)
+	}
+	sortStrings(names)
+	marks := []byte{'*', 'o', 'x', '+', 'a', 'b', 'c', 'd'}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, len(xLabels))
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, name := range names {
+		mark := marks[si%len(marks)]
+		for c, y := range series[name] {
+			row := height - 1
+			if maxV > 0 {
+				row = height - 1 - int(y/maxV*float64(height-1)+0.5)
+			}
+			grid[row][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r, row := range grid {
+		yVal := 0.0
+		if height > 1 {
+			yVal = maxV * float64(height-1-r) / float64(height-1)
+		}
+		fmt.Fprintf(&b, "  %8.3g |%s|\n", yVal, string(row))
+	}
+	b.WriteString("           ")
+	for range xLabels {
+		b.WriteByte('-')
+	}
+	b.WriteByte('\n')
+	b.WriteString("  x: ")
+	b.WriteString(strings.Join(xLabels, " "))
+	b.WriteByte('\n')
+	for si, name := range names {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], name)
+	}
+	return b.String()
+}
+
+// sortStrings is a dependency-free insertion sort (the series count is
+// tiny).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// BarChart renders labeled values as horizontal ASCII bars scaled to
+// maxWidth characters, for eyeballing figure shapes in terminal output.
+func BarChart(title string, labels []string, values []float64, maxWidth int) string {
+	if len(labels) != len(values) {
+		panic("report: BarChart labels and values length mismatch")
+	}
+	if maxWidth < 1 {
+		panic("report: BarChart needs positive width")
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v < 0 {
+			panic("report: BarChart values must be non-negative")
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "  %s  %s %.4g\n", pad(labels[i], maxL), strings.Repeat("#", n), v)
+	}
+	return b.String()
+}

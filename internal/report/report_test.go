@@ -1,0 +1,196 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Lifetime", "scheme", "normalized")
+	tb.AddRow("max-we", 0.431)
+	tb.AddRow("pcd", 0.306)
+	out := tb.String()
+	if !strings.Contains(out, "Lifetime") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "scheme") || !strings.Contains(out, "normalized") {
+		t.Fatal("headers missing")
+	}
+	if !strings.Contains(out, "max-we") || !strings.Contains(out, "0.431") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	// Alignment: every line has the same position for the second column
+	// start... coarse check: rule line present.
+	if !strings.Contains(out, "------") {
+		t.Fatal("rule missing")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title rendered as blank line")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.123456789)
+	if !strings.Contains(tb.String(), "0.1235") {
+		t.Fatalf("float not compacted: %s", tb.String())
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTable("x") },
+		func() { NewTable("x", "a", "b").AddRow(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow("plain", 1)
+	tb.AddRow("with,comma", 2)
+	tb.AddRow(`with"quote`, 3)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `"with,comma",2` {
+		t.Fatalf("comma row = %q", lines[2])
+	}
+	if lines[3] != `"with""quote",3` {
+		t.Fatalf("quote row = %q", lines[3])
+	}
+}
+
+func TestJSON(t *testing.T) {
+	tb := NewTable("t", "scheme", "value")
+	tb.AddRow("max-we", 0.43)
+	tb.AddRow("pcd", 0.31)
+	got := tb.JSON()
+	if !strings.Contains(got, `"scheme": "max-we"`) {
+		t.Fatalf("JSON missing row: %s", got)
+	}
+	if !strings.Contains(got, `"value": "0.31"`) {
+		t.Fatalf("JSON missing value: %s", got)
+	}
+	if !strings.HasSuffix(got, "\n") {
+		t.Fatal("JSON missing trailing newline")
+	}
+	// Empty table marshals to an empty array.
+	empty := NewTable("", "a")
+	if strings.TrimSpace(empty.JSON()) != "[]" {
+		t.Fatalf("empty JSON = %q", empty.JSON())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("chart", []string{"a", "bb"}, []float64{1, 2}, 10)
+	if !strings.Contains(out, "chart") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart has %d lines", len(lines))
+	}
+	// Max value gets the full width; half value gets half.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Fatalf("half bar wrong: %q", lines[1])
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	out := LinePlot("plot", []string{"0", "1", "2"}, map[string][]float64{
+		"up":   {0, 5, 10},
+		"flat": {5, 5, 5},
+	}, 5)
+	if !strings.Contains(out, "plot") {
+		t.Fatal("title missing")
+	}
+	// Legend lists both series with distinct marks ('flat' sorts first).
+	if !strings.Contains(out, "* = flat") || !strings.Contains(out, "o = up") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	// The rising series tops the grid at the last column.
+	lines := strings.Split(out, "\n")
+	topRow := lines[1]
+	if !strings.Contains(topRow, "o") {
+		t.Fatalf("max point missing from top row: %q", topRow)
+	}
+	// X labels present.
+	if !strings.Contains(out, "x: 0 1 2") {
+		t.Fatal("x axis missing")
+	}
+}
+
+func TestLinePlotAllZero(t *testing.T) {
+	out := LinePlot("", []string{"a"}, map[string][]float64{"z": {0}}, 3)
+	if !strings.Contains(out, "*") {
+		t.Fatal("zero series not drawn on the baseline")
+	}
+}
+
+func TestLinePlotPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LinePlot("", []string{"a"}, map[string][]float64{"s": {1}}, 1) },
+		func() { LinePlot("", nil, map[string][]float64{"s": {}}, 3) },
+		func() { LinePlot("", []string{"a"}, map[string][]float64{}, 3) },
+		func() { LinePlot("", []string{"a"}, map[string][]float64{"s": {1, 2}}, 3) },
+		func() { LinePlot("", []string{"a"}, map[string][]float64{"s": {-1}}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("", []string{"z"}, []float64{0}, 5)
+	if strings.Contains(out, "#") {
+		t.Fatal("zero value drew a bar")
+	}
+}
+
+func TestBarChartPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BarChart("", []string{"a"}, []float64{1, 2}, 5) },
+		func() { BarChart("", []string{"a"}, []float64{1}, 0) },
+		func() { BarChart("", []string{"a"}, []float64{-1}, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

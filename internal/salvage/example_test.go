@@ -1,0 +1,40 @@
+package salvage_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/salvage"
+)
+
+// Dynamically replicated memory: two faulty lines with disjoint dead
+// cells pair into one working line, so capacity decays gracefully instead
+// of dropping on every fault.
+func ExampleDRM() {
+	d := salvage.NewDRM(4, 8)
+	fmt.Println("fresh capacity:", d.Capacity())
+	d.FailCell(0, 3) // line 0 loses a cell: capacity drops
+	fmt.Println("after 1st fault:", d.Capacity())
+	d.FailCell(1, 5) // line 1 loses a different cell: the two pair up
+	fmt.Println("after pairing:  ", d.Capacity())
+	// Output:
+	// fresh capacity: 4
+	// after 1st fault: 3
+	// after pairing:   3
+}
+
+// Pay-as-you-go: a global entry pool absorbs clustered failures that a
+// per-line split of the same budget could not.
+func ExamplePAYG() {
+	p := salvage.NewPAYG(8, 16, 10)
+	survived := true
+	for c := 0; c < 10; c++ {
+		if !p.FailCell(3, c) { // ten failures, all in one weak line
+			survived = false
+		}
+	}
+	fmt.Println("burst survived:", survived)
+	fmt.Println("entries left:  ", p.EntriesLeft())
+	// Output:
+	// burst survived: true
+	// entries left:   0
+}

@@ -1,0 +1,284 @@
+// Package salvage implements the remaining salvaging baselines the paper
+// surveys in Section 2.2.2, on a common cell-level fault model:
+//
+//   - DRM — Dynamically Replicated Memory (Ipek et al., ASPLOS'10):
+//     two faulty lines whose dead cells sit at disjoint positions pair up
+//     to form one working line, so capacity decays gracefully.
+//   - PAYG — Pay-As-You-Go (Qureshi, MICRO'11): a global pool of
+//     correction entries allocated on demand, instead of ECP's fixed
+//     per-line budget; a line dies when a cell fails and the pool is dry.
+//   - The ECP-k and line-kill (first cell failure kills the line)
+//     policies from internal/ecp serve as the endpoints.
+//
+// All policies answer the same question — given a stream of cell
+// failures, when does each line (and eventually the device) die — which
+// is what the lifetime comparison in the salvage study needs.
+package salvage
+
+import "fmt"
+
+// CellTracker is the common per-line dead-cell bookkeeping.
+type CellTracker struct {
+	cellsPerLine int
+	dead         [][]bool
+	deadCount    []int
+}
+
+// NewCellTracker builds tracking for lines x cellsPerLine cells.
+func NewCellTracker(lines, cellsPerLine int) *CellTracker {
+	if lines <= 0 || cellsPerLine <= 0 {
+		panic("salvage: NewCellTracker needs positive dimensions")
+	}
+	t := &CellTracker{
+		cellsPerLine: cellsPerLine,
+		dead:         make([][]bool, lines),
+		deadCount:    make([]int, lines),
+	}
+	for i := range t.dead {
+		t.dead[i] = make([]bool, cellsPerLine)
+	}
+	return t
+}
+
+// Lines returns the tracked line count.
+func (t *CellTracker) Lines() int { return len(t.dead) }
+
+// CellsPerLine returns the line width in cells.
+func (t *CellTracker) CellsPerLine() int { return t.cellsPerLine }
+
+// Fail marks cell (line, cell) dead; repeated failures of the same cell
+// are idempotent. It returns the line's dead-cell count.
+func (t *CellTracker) Fail(line, cell int) int {
+	t.check(line, cell)
+	if !t.dead[line][cell] {
+		t.dead[line][cell] = true
+		t.deadCount[line]++
+	}
+	return t.deadCount[line]
+}
+
+// DeadCount returns the number of dead cells in line.
+func (t *CellTracker) DeadCount(line int) int {
+	t.check(line, 0)
+	return t.deadCount[line]
+}
+
+// Dead reports whether cell (line, cell) has failed.
+func (t *CellTracker) Dead(line, cell int) bool {
+	t.check(line, cell)
+	return t.dead[line][cell]
+}
+
+// Compatible reports whether two lines' dead cells are disjoint — DRM's
+// pairing condition.
+func (t *CellTracker) Compatible(a, b int) bool {
+	t.check(a, 0)
+	t.check(b, 0)
+	if a == b {
+		return false
+	}
+	for c := 0; c < t.cellsPerLine; c++ {
+		if t.dead[a][c] && t.dead[b][c] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *CellTracker) check(line, cell int) {
+	if line < 0 || line >= len(t.dead) {
+		panic(fmt.Sprintf("salvage: line %d out of range [0,%d)", line, len(t.dead)))
+	}
+	if cell < 0 || cell >= t.cellsPerLine {
+		panic(fmt.Sprintf("salvage: cell %d out of range [0,%d)", cell, t.cellsPerLine))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DRM
+
+// lineState is a DRM line's lifecycle stage.
+type lineState uint8
+
+const (
+	statePristine lineState = iota // no dead cells
+	statePaired                    // faulty, compensated by a partner
+	stateUnpaired                  // faulty, waiting for a partner
+)
+
+// DRM tracks dynamically replicated memory: pristine lines provide full
+// capacity; faulty lines pair into half-capacity replicas.
+type DRM struct {
+	cells    *CellTracker
+	state    []lineState
+	partner  []int
+	unpaired []int // queue of unpaired faulty lines (first-fit pairing)
+}
+
+// NewDRM builds a DRM manager over lines x cellsPerLine cells.
+func NewDRM(lines, cellsPerLine int) *DRM {
+	d := &DRM{
+		cells:   NewCellTracker(lines, cellsPerLine),
+		state:   make([]lineState, lines),
+		partner: make([]int, lines),
+	}
+	for i := range d.partner {
+		d.partner[i] = -1
+	}
+	return d
+}
+
+// FailCell records a cell failure and updates the pairing structures.
+func (d *DRM) FailCell(line, cell int) {
+	already := d.cells.Dead(line, cell)
+	d.cells.Fail(line, cell)
+	if already {
+		return
+	}
+	switch d.state[line] {
+	case statePristine:
+		d.state[line] = stateUnpaired
+		d.tryPair(line)
+	case stateUnpaired:
+		// Still waiting; nothing to update.
+	case statePaired:
+		// The pair is broken if the partner is dead at the same spot.
+		p := d.partner[line]
+		if !d.cells.Compatible(line, p) {
+			d.unpair(line, p)
+			d.tryPair(line)
+			d.tryPair(p)
+		}
+	}
+}
+
+func (d *DRM) unpair(a, b int) {
+	d.partner[a] = -1
+	d.partner[b] = -1
+	d.state[a] = stateUnpaired
+	d.state[b] = stateUnpaired
+}
+
+// tryPair attempts first-fit pairing of an unpaired faulty line.
+func (d *DRM) tryPair(line int) {
+	if d.state[line] != stateUnpaired {
+		return
+	}
+	// Scan the waiting queue for a compatible partner, compacting
+	// entries that got paired or re-broken in the meantime.
+	kept := d.unpaired[:0]
+	paired := false
+	for _, cand := range d.unpaired {
+		if paired || d.state[cand] != stateUnpaired || cand == line {
+			if d.state[cand] == stateUnpaired && cand != line {
+				kept = append(kept, cand)
+			}
+			continue
+		}
+		if d.cells.Compatible(line, cand) {
+			d.partner[line] = cand
+			d.partner[cand] = line
+			d.state[line] = statePaired
+			d.state[cand] = statePaired
+			paired = true
+			continue // drop cand from the queue
+		}
+		kept = append(kept, cand)
+	}
+	d.unpaired = kept
+	if !paired {
+		d.unpaired = append(d.unpaired, line)
+	}
+}
+
+// Capacity returns the usable line count: pristine lines plus one line
+// per faulty pair.
+func (d *DRM) Capacity() int {
+	cap := 0
+	pairs := 0
+	for line, st := range d.state {
+		switch st {
+		case statePristine:
+			cap++
+		case statePaired:
+			_ = line
+			pairs++
+		}
+	}
+	return cap + pairs/2
+}
+
+// Pristine returns how many lines have no dead cells.
+func (d *DRM) Pristine() int {
+	n := 0
+	for _, st := range d.state {
+		if st == statePristine {
+			n++
+		}
+	}
+	return n
+}
+
+// Unpaired returns how many faulty lines currently lack a partner.
+func (d *DRM) Unpaired() int {
+	n := 0
+	for _, st := range d.state {
+		if st == stateUnpaired {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// PAYG
+
+// PAYG manages a global pool of correction entries. Every newly failed
+// cell consumes one entry permanently; a line dies when a cell fails with
+// the pool dry.
+type PAYG struct {
+	cells *CellTracker
+	pool  int
+	used  int
+	dead  []bool
+	deadN int
+}
+
+// NewPAYG builds a pay-as-you-go corrector with a global pool of entries.
+func NewPAYG(lines, cellsPerLine, pool int) *PAYG {
+	if pool < 0 {
+		panic("salvage: NewPAYG needs a non-negative pool")
+	}
+	return &PAYG{
+		cells: NewCellTracker(lines, cellsPerLine),
+		pool:  pool,
+		dead:  make([]bool, lines),
+	}
+}
+
+// FailCell records a cell failure. It returns false when the line is (or
+// becomes) dead — the pool had no entry for the failure.
+func (p *PAYG) FailCell(line, cell int) bool {
+	if p.dead[line] {
+		p.cells.Fail(line, cell)
+		return false
+	}
+	already := p.cells.Dead(line, cell)
+	p.cells.Fail(line, cell)
+	if already {
+		return true
+	}
+	if p.used < p.pool {
+		p.used++
+		return true
+	}
+	p.dead[line] = true
+	p.deadN++
+	return false
+}
+
+// EntriesLeft returns the unconsumed pool size.
+func (p *PAYG) EntriesLeft() int { return p.pool - p.used }
+
+// DeadLines returns how many lines died for lack of entries.
+func (p *PAYG) DeadLines() int { return p.deadN }

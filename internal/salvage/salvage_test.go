@@ -1,0 +1,184 @@
+package salvage
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestCellTrackerBasics(t *testing.T) {
+	c := NewCellTracker(4, 8)
+	if c.Lines() != 4 || c.CellsPerLine() != 8 {
+		t.Fatal("geometry wrong")
+	}
+	if c.Fail(1, 3) != 1 {
+		t.Fatal("first failure count wrong")
+	}
+	if c.Fail(1, 3) != 1 {
+		t.Fatal("repeated failure not idempotent")
+	}
+	if c.Fail(1, 4) != 2 || c.DeadCount(1) != 2 {
+		t.Fatal("second failure count wrong")
+	}
+	if !c.Dead(1, 3) || c.Dead(1, 5) {
+		t.Fatal("Dead flags wrong")
+	}
+}
+
+func TestCellTrackerCompatible(t *testing.T) {
+	c := NewCellTracker(3, 4)
+	c.Fail(0, 1)
+	c.Fail(1, 2)
+	c.Fail(2, 1)
+	if !c.Compatible(0, 1) {
+		t.Fatal("disjoint dead sets reported incompatible")
+	}
+	if c.Compatible(0, 2) {
+		t.Fatal("overlapping dead sets reported compatible")
+	}
+	if c.Compatible(0, 0) {
+		t.Fatal("a line is compatible with itself")
+	}
+}
+
+func TestCellTrackerPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCellTracker(0, 4) },
+		func() { NewCellTracker(4, 0) },
+		func() { NewCellTracker(2, 2).Fail(2, 0) },
+		func() { NewCellTracker(2, 2).Fail(0, 2) },
+		func() { NewCellTracker(2, 2).DeadCount(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDRMPairingLifecycle(t *testing.T) {
+	d := NewDRM(4, 4)
+	if d.Capacity() != 4 || d.Pristine() != 4 {
+		t.Fatal("fresh DRM capacity wrong")
+	}
+	// Line 0 loses cell 1: capacity drops to 3, one unpaired faulty line.
+	d.FailCell(0, 1)
+	if d.Capacity() != 3 || d.Unpaired() != 1 {
+		t.Fatalf("capacity %d unpaired %d after first fault", d.Capacity(), d.Unpaired())
+	}
+	// Line 1 loses cell 2 (disjoint): the two pair, restoring one line.
+	d.FailCell(1, 2)
+	if d.Capacity() != 3 {
+		t.Fatalf("capacity %d after pairing, want 3 (2 pristine + 1 pair)", d.Capacity())
+	}
+	if d.Unpaired() != 0 {
+		t.Fatal("pair not formed")
+	}
+	// Line 0 loses cell 2 too — now it overlaps its partner: the pair
+	// breaks, both wait.
+	d.FailCell(0, 2)
+	if d.Capacity() != 2 || d.Unpaired() != 2 {
+		t.Fatalf("capacity %d unpaired %d after pair break", d.Capacity(), d.Unpaired())
+	}
+	// Line 2 loses cell 3: compatible with both; pairs with one of them.
+	d.FailCell(2, 3)
+	if d.Capacity() != 2 || d.Unpaired() != 1 {
+		t.Fatalf("capacity %d unpaired %d after repair", d.Capacity(), d.Unpaired())
+	}
+}
+
+func TestDRMIdempotentFailures(t *testing.T) {
+	d := NewDRM(2, 2)
+	d.FailCell(0, 0)
+	cap1 := d.Capacity()
+	d.FailCell(0, 0)
+	if d.Capacity() != cap1 {
+		t.Fatal("repeated failure changed capacity")
+	}
+}
+
+func TestDRMCapacityDecaysGracefully(t *testing.T) {
+	// Random cell failures: DRM must retain more capacity than the
+	// kill-line-on-first-fault policy for the same failure stream.
+	const lines, cells = 64, 16
+	d := NewDRM(lines, cells)
+	killLineDead := map[int]bool{}
+	src := xrand.New(5)
+	for i := 0; i < 300; i++ {
+		line, cell := src.Intn(lines), src.Intn(cells)
+		d.FailCell(line, cell)
+		killLineDead[line] = true
+	}
+	killLineCapacity := lines - len(killLineDead)
+	if d.Capacity() <= killLineCapacity {
+		t.Fatalf("DRM capacity %d not above kill-on-first-fault %d",
+			d.Capacity(), killLineCapacity)
+	}
+}
+
+func TestPAYGPoolAccounting(t *testing.T) {
+	p := NewPAYG(4, 4, 2)
+	if !p.FailCell(0, 0) || !p.FailCell(1, 1) {
+		t.Fatal("pool entries not granted")
+	}
+	if p.EntriesLeft() != 0 {
+		t.Fatalf("EntriesLeft = %d", p.EntriesLeft())
+	}
+	// Third new failure: pool dry, line dies.
+	if p.FailCell(2, 2) {
+		t.Fatal("failure corrected with dry pool")
+	}
+	if p.DeadLines() != 1 {
+		t.Fatalf("DeadLines = %d", p.DeadLines())
+	}
+	// Dead line stays dead.
+	if p.FailCell(2, 3) {
+		t.Fatal("dead line revived")
+	}
+	if p.DeadLines() != 1 {
+		t.Fatal("dead line double-counted")
+	}
+	// Repeated failure of an already-corrected cell costs nothing.
+	if !p.FailCell(0, 0) {
+		t.Fatal("repeated corrected-cell failure rejected")
+	}
+	if p.EntriesLeft() != 0 {
+		t.Fatal("repeated failure consumed an entry")
+	}
+}
+
+func TestPAYGSharesBudgetBetterThanECP(t *testing.T) {
+	// The PAYG insight: failures cluster in weak lines, so a global pool
+	// of G entries survives failure streams that a per-line split of the
+	// same G entries does not. Stream: 10 failures in one line.
+	const lines, cells, g = 8, 16, 10
+	p := NewPAYG(lines, cells, g)
+	survived := true
+	for c := 0; c < 10; c++ {
+		if !p.FailCell(3, c) {
+			survived = false
+		}
+	}
+	if !survived {
+		t.Fatal("PAYG with 10 entries failed a 10-failure burst")
+	}
+	// ECP with the same total budget split per line (10/8 -> k=1) dies
+	// on the second failure of that line: (k+1)=2 <= 10.
+	perLineK := g / lines
+	if perLineK+1 >= 10 {
+		t.Fatal("test setup broken: ECP should die under this burst")
+	}
+}
+
+func TestPAYGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPAYG(2, 2, -1)
+}

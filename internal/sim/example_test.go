@@ -1,0 +1,49 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/endurance"
+	"maxwe/internal/sim"
+	"maxwe/internal/spare"
+)
+
+// Run the uniform address attack against an unprotected device with 50x
+// endurance variation: the lifetime collapses to the Equation 5 floor.
+func ExampleRun() {
+	p := endurance.Linear(64, 16, 100, 5000) // EL=100, EH=5000
+	res, err := sim.Run(sim.Config{
+		Profile: p,
+		Scheme:  spare.NewNone(p.Lines()),
+		Attack:  attack.NewUAA(),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("failed: %v, lifetime: %.3f of ideal\n", res.Failed, res.NormalizedLifetime)
+	// Output:
+	// failed: true, lifetime: 0.039 of ideal
+}
+
+// Drive the stack from an external write source instead of a built-in
+// attack.
+func ExampleStepper() {
+	p := endurance.Uniform(4, 4, 10)
+	st, err := sim.NewStepper(sim.Config{
+		Profile: p,
+		Scheme:  spare.NewNone(p.Lines()),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	writes := 0
+	for st.Write(writes % st.LogicalLines()) {
+		writes++
+	}
+	fmt.Printf("served %d writes before failure\n", st.Result().UserWrites)
+	// Output:
+	// served 145 writes before failure
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"maxwe/internal/endurance"
+	"maxwe/internal/spare"
+	"maxwe/internal/xrand"
+)
+
+// FuzzStepperInvariants feeds arbitrary write streams through the full
+// Max-WE stack and checks the global accounting invariants: served user
+// writes never exceed device writes, the device never over-consumes its
+// total budget by more than one write per line, and the run terminates
+// consistently.
+func FuzzStepperInvariants(f *testing.F) {
+	f.Add(uint64(1), uint16(100))
+	f.Add(uint64(42), uint16(5000))
+	f.Fuzz(func(t *testing.T, seed uint64, steps uint16) {
+		p := endurance.Linear(8, 8, 5, 250).Shuffled(xrand.New(seed))
+		st, err := NewStepper(Config{
+			Profile: p,
+			Scheme:  spare.NewMaxWE(p, spare.DefaultMaxWEOptions()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := xrand.New(seed + 1)
+		for i := 0; i < int(steps); i++ {
+			if !st.Write(src.Intn(st.LogicalLines())) {
+				break
+			}
+		}
+		res := st.Result()
+		if res.DeviceWrites < res.UserWrites {
+			t.Fatalf("device writes %d < user writes %d", res.DeviceWrites, res.UserWrites)
+		}
+		if res.NormalizedLifetime < 0 || res.NormalizedLifetime > 1 {
+			t.Fatalf("normalized lifetime %v out of [0, 1]", res.NormalizedLifetime)
+		}
+		// Worn lines can never exceed the device's line count, and spare
+		// usage can never exceed the provisioned budget by construction.
+		if res.WornLines > p.Lines() {
+			t.Fatalf("worn lines %d > device lines %d", res.WornLines, p.Lines())
+		}
+		// Every device write lands on a then-unworn line, so total
+		// device writes are bounded by the total budget plus one
+		// wear-out transition per line.
+		if float64(res.DeviceWrites) > p.Sum()+float64(p.Lines()) {
+			t.Fatalf("device writes %d exceed total budget %v", res.DeviceWrites, p.Sum())
+		}
+	})
+}

@@ -1,0 +1,294 @@
+// Package sim is the NVMsim reproduction: the discrete lifetime simulator
+// the paper evaluates with (Section 5.1). It couples an attack's logical
+// write stream, a wear-leveling substrate, a spare-line replacement scheme
+// and the physical device, and measures how many user writes the stack
+// serves before the device fails.
+//
+// The primary engine simulates every write. Because lifetime is reported
+// normalized (user writes / Σ line endurance) it is scale-invariant, so
+// experiments run on scaled-down profiles (tens of thousands of lines,
+// thousands of writes per line) that the per-write engine handles in
+// milliseconds to seconds.
+//
+// For the Uniform Address Attack with no wear leveling the package also
+// provides an O(E log N) event-driven fast path (RunUAAFast) that
+// processes only wear-out events; tests cross-validate it against the
+// per-write engine.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/device"
+	"maxwe/internal/endurance"
+	"maxwe/internal/spare"
+	"maxwe/internal/wearlevel"
+)
+
+// Config assembles one simulation run. Profile, Scheme and Attack are
+// mandatory. Leveler is optional: nil means no wear leveling, with the
+// attack addressing the scheme's (possibly shrinking) user space directly —
+// the only mode that supports the PCD scheme, whose capacity changes over
+// time.
+type Config struct {
+	Profile *endurance.Profile
+	Scheme  spare.Scheme
+	Leveler wearlevel.Leveler
+	Attack  attack.Attack
+
+	// MaxUserWrites caps the run (0 = no cap). The engine terminates
+	// regardless because every user write consumes at least one unit of
+	// finite device budget; the cap exists for truncated experiments.
+	MaxUserWrites int64
+}
+
+// Result reports one lifetime measurement.
+type Result struct {
+	// UserWrites is the number of user writes served before failure.
+	UserWrites int64
+	// DeviceWrites counts all physical writes, including wear-leveling
+	// movement and replacement redirections.
+	DeviceWrites int64
+	// NormalizedLifetime is UserWrites / Σ line endurance — the paper's
+	// lifetime metric.
+	NormalizedLifetime float64
+	// WriteAmplification is DeviceWrites / UserWrites (1.0 when no
+	// leveler runs).
+	WriteAmplification float64
+	// WornLines is how many physical lines wore out.
+	WornLines int
+	// SparesUsed is how many spare allocations the scheme performed.
+	SparesUsed int
+	// Failed is true when the device actually failed; false when the run
+	// stopped at MaxUserWrites.
+	Failed bool
+}
+
+var (
+	errNilProfile = errors.New("sim: Config.Profile is nil")
+	errNilScheme  = errors.New("sim: Config.Scheme is nil")
+	errNilAttack  = errors.New("sim: Config.Attack is nil")
+)
+
+func (c Config) validate() error {
+	if c.Profile == nil {
+		return errNilProfile
+	}
+	if c.Scheme == nil {
+		return errNilScheme
+	}
+	if c.Attack == nil {
+		return errNilAttack
+	}
+	if c.Leveler != nil {
+		if _, pcd := c.Scheme.(*spare.PCDScheme); pcd {
+			return errors.New("sim: PCD's shrinking capacity requires Leveler == nil")
+		}
+		if c.Leveler.LogicalLines() > c.Scheme.UserLines() {
+			return fmt.Errorf("sim: leveler logical space %d exceeds scheme user space %d",
+				c.Leveler.LogicalLines(), c.Scheme.UserLines())
+		}
+	}
+	if c.MaxUserWrites < 0 {
+		return errors.New("sim: MaxUserWrites must be >= 0")
+	}
+	return nil
+}
+
+// engine wires the device and scheme together; it implements
+// wearlevel.Mover so relocation traffic flows through the same wear-out
+// handling as user traffic.
+type engine struct {
+	dev    *device.Device
+	scheme spare.Scheme
+	failed bool
+}
+
+var _ wearlevel.Mover = (*engine)(nil)
+
+// WriteSlot performs one physical write backing user slot u. On a wear-out
+// transition it runs the scheme's replacement procedure; if the scheme is
+// out of spares the device has failed and WriteSlot returns false.
+func (e *engine) WriteSlot(u int) bool {
+	line := e.scheme.Access(u)
+	if e.dev.Write(line) {
+		if !e.scheme.OnWearOut(u) {
+			e.failed = true
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the configured simulation until device failure or the
+// user-write cap.
+func Run(cfg Config) (Result, error) {
+	res, _, err := RunDetailed(cfg)
+	return res, err
+}
+
+// RunDetailed is Run plus the simulated device in its final wear state,
+// for analyses that need per-line wear (histograms, spread metrics).
+func RunDetailed(cfg Config) (Result, *device.Device, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, nil, err
+	}
+	dev := device.New(cfg.Profile)
+	e := &engine{dev: dev, scheme: cfg.Scheme}
+
+	var userWrites int64
+	for {
+		if cfg.MaxUserWrites > 0 && userWrites >= cfg.MaxUserWrites {
+			break
+		}
+		// The write that exhausts a line's budget still completes (the
+		// replacement procedure runs afterwards), so it counts as served
+		// even when the device fails to recover from it.
+		if cfg.Leveler == nil {
+			if cfg.Scheme.UserLines() == 0 {
+				e.failed = true
+				break
+			}
+			u := cfg.Attack.Next(cfg.Scheme.UserLines())
+			ok := e.WriteSlot(u)
+			userWrites++
+			if !ok {
+				break
+			}
+			continue
+		}
+		lla := cfg.Attack.Next(cfg.Leveler.LogicalLines())
+		u := cfg.Leveler.Translate(lla)
+		ok := e.WriteSlot(u)
+		userWrites++
+		if !ok {
+			break
+		}
+		if !cfg.Leveler.OnWrite(lla, e) {
+			break
+		}
+	}
+
+	return buildResult(cfg, dev, userWrites, e.failed), dev, nil
+}
+
+func buildResult(cfg Config, dev *device.Device, userWrites int64, failed bool) Result {
+	r := Result{
+		UserWrites:         userWrites,
+		DeviceWrites:       dev.TotalWrites(),
+		NormalizedLifetime: float64(userWrites) / cfg.Profile.Sum(),
+		WornLines:          dev.WornCount(),
+		SparesUsed:         cfg.Scheme.SpareLinesUsed(),
+		Failed:             failed,
+	}
+	if userWrites > 0 {
+		r.WriteAmplification = float64(dev.TotalWrites()) / float64(userWrites)
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven fast path for UAA
+
+// slotEvent is a pending wear-out: the line backing a slot dies at the end
+// of round deathRound (rounds are full UAA sweeps over the user space).
+type slotEvent struct {
+	deathRound int64
+	line       int
+}
+
+type eventHeap []slotEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].deathRound < h[j].deathRound }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(slotEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunUAAFast computes the UAA lifetime (no wear leveling) by processing
+// wear-out events instead of individual writes: under UAA every in-service
+// line receives exactly one write per round, so the line backing a slot
+// dies a fixed number of rounds after it enters service. The result's
+// UserWrites counts whole rounds (each round = current user capacity
+// writes), which differs from the per-write engine by less than one round.
+//
+// The scheme must be freshly constructed; it is consumed by the run.
+func RunUAAFast(p *endurance.Profile, scheme spare.Scheme) (Result, error) {
+	if p == nil {
+		return Result{}, errNilProfile
+	}
+	if scheme == nil {
+		return Result{}, errNilScheme
+	}
+
+	h := &eventHeap{}
+	lineSlot := make(map[int]int, scheme.UserLines())
+	worn := make(map[int]bool)
+	for u := 0; u < scheme.UserLines(); u++ {
+		line := scheme.Access(u)
+		lineSlot[line] = u
+		heap.Push(h, slotEvent{deathRound: p.LineEndurance(line), line: line})
+	}
+
+	var userWrites int64
+	var lastRound int64
+	failed := false
+	wornLines := 0
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(slotEvent)
+		if worn[ev.line] {
+			continue
+		}
+		u, inService := lineSlot[ev.line]
+		if !inService {
+			continue
+		}
+		// Advance time: every round writes every in-service line once.
+		userWrites += (ev.deathRound - lastRound) * int64(scheme.UserLines())
+		lastRound = ev.deathRound
+		worn[ev.line] = true
+		wornLines++
+		delete(lineSlot, ev.line)
+
+		if !scheme.OnWearOut(u) {
+			failed = true
+			break
+		}
+		if _, pcd := scheme.(*spare.PCDScheme); pcd {
+			// PCD moved the former last slot's line into u and shrank; the
+			// reverse map entry for that line must follow it.
+			if u < scheme.UserLines() {
+				lineSlot[scheme.Access(u)] = u
+			}
+			// Bindings of the other surviving slots are untouched, so no
+			// further reverse-map maintenance is needed.
+			continue
+		}
+		newLine := scheme.Access(u)
+		lineSlot[newLine] = u
+		heap.Push(h, slotEvent{
+			deathRound: lastRound + p.LineEndurance(newLine),
+			line:       newLine,
+		})
+	}
+
+	res := Result{
+		UserWrites:         userWrites,
+		DeviceWrites:       userWrites,
+		NormalizedLifetime: float64(userWrites) / p.Sum(),
+		WriteAmplification: 1,
+		WornLines:          wornLines,
+		SparesUsed:         scheme.SpareLinesUsed(),
+		Failed:             failed,
+	}
+	return res, nil
+}

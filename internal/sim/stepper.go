@@ -1,0 +1,90 @@
+// stepper.go provides the trace-driven counterpart of Run: instead of an
+// Attack generating addresses internally, the caller feeds logical write
+// addresses one at a time. This is how external workloads (file traces, a
+// DRAM buffer's write-backs, a fuzzer) drive the simulated stack.
+package sim
+
+import "maxwe/internal/device"
+
+// Stepper drives the device + leveler + scheme stack one user write at a
+// time. Construct with NewStepper; the Config's Attack field is ignored
+// (MaxUserWrites too — the caller controls the write stream).
+type Stepper struct {
+	cfg        Config
+	dev        *device.Device
+	e          *engine
+	userWrites int64
+}
+
+// NewStepper validates the configuration (Attack excepted) and assembles
+// a fresh stack.
+func NewStepper(cfg Config) (*Stepper, error) {
+	check := cfg
+	if check.Attack == nil {
+		// Satisfy validation; the attack is never used.
+		check.Attack = nopAttack{}
+	}
+	if err := check.validate(); err != nil {
+		return nil, err
+	}
+	dev := device.New(cfg.Profile)
+	return &Stepper{
+		cfg: cfg,
+		dev: dev,
+		e:   &engine{dev: dev, scheme: cfg.Scheme},
+	}, nil
+}
+
+type nopAttack struct{}
+
+func (nopAttack) Name() string   { return "external" }
+func (nopAttack) Next(n int) int { return 0 }
+
+// LogicalLines returns the current size of the logical address space the
+// caller should draw addresses from (it shrinks under PCD).
+func (s *Stepper) LogicalLines() int {
+	if s.cfg.Leveler != nil {
+		return s.cfg.Leveler.LogicalLines()
+	}
+	return s.cfg.Scheme.UserLines()
+}
+
+// Failed reports whether the device has failed; further writes are
+// rejected.
+func (s *Stepper) Failed() bool { return s.e.failed }
+
+// Write performs one user write to logical line lla. It returns false
+// once the device has failed (including when this very write triggered
+// the unrecoverable wear-out — the write itself still counted, matching
+// Run's accounting).
+func (s *Stepper) Write(lla int) bool {
+	if s.e.failed {
+		return false
+	}
+	if s.cfg.Leveler == nil {
+		n := s.cfg.Scheme.UserLines()
+		if n == 0 {
+			s.e.failed = true
+			return false
+		}
+		ok := s.e.WriteSlot(lla % n)
+		s.userWrites++
+		return ok
+	}
+	lla %= s.cfg.Leveler.LogicalLines()
+	u := s.cfg.Leveler.Translate(lla)
+	ok := s.e.WriteSlot(u)
+	s.userWrites++
+	if !ok {
+		return false
+	}
+	return s.cfg.Leveler.OnWrite(lla, s.e)
+}
+
+// Result summarizes the writes served so far (callable at any point).
+func (s *Stepper) Result() Result {
+	return buildResult(s.cfg, s.dev, s.userWrites, s.e.failed)
+}
+
+// Device exposes the underlying device for wear inspection.
+func (s *Stepper) Device() *device.Device { return s.dev }

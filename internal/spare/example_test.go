@@ -1,0 +1,52 @@
+package spare_test
+
+import (
+	"fmt"
+
+	"maxwe/internal/endurance"
+	"maxwe/internal/spare"
+)
+
+// Build Max-WE over a 10-region device and inspect the weak-priority
+// allocation: the weakest regions become SWRs, the next weakest become
+// the RWRs they rescue, and the following ones form the dynamic pool.
+func ExampleNewMaxWE() {
+	// Region endurance rises with the region id (region 0 weakest).
+	p := endurance.Linear(10, 4, 100, 4000)
+	opts := spare.DefaultMaxWEOptions()
+	opts.SpareFraction = 0.30
+	opts.SWRFraction = 0.67
+	s := spare.NewMaxWE(p, opts)
+
+	fmt.Println("SWR regions:       ", s.SWRRegionIDs())
+	fmt.Println("RWR regions:       ", s.RWRRegionIDs())
+	fmt.Println("dynamic pool:      ", s.AdditionalRegionIDs())
+	fmt.Println("user lines:        ", s.UserLines())
+	// Weak-strong matching: the weakest RWR (2) pairs with the strongest
+	// SWR (1).
+	fmt.Println("spare of region 2: ", s.Mapping().RMT.SpareOf(2))
+	// Output:
+	// SWR regions:        [0 1]
+	// RWR regions:        [2 3]
+	// dynamic pool:       [4]
+	// user lines:         28
+	// spare of region 2:  1
+}
+
+// The replacement procedure: an RWR line's first wear-out flips its RMT
+// tag and redirects accesses to the paired SWR line.
+func ExampleMaxWEScheme_OnWearOut() {
+	p := endurance.Linear(10, 4, 100, 4000)
+	opts := spare.DefaultMaxWEOptions()
+	opts.SpareFraction = 0.30
+	opts.SWRFraction = 0.67
+	s := spare.NewMaxWE(p, opts)
+
+	// Slot 0 is the first RWR line (region 2, line 8).
+	fmt.Println("backing line before:", s.Access(0))
+	s.OnWearOut(0)
+	fmt.Println("backing line after: ", s.Access(0))
+	// Output:
+	// backing line before: 8
+	// backing line after:  4
+}

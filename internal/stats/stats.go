@@ -1,0 +1,106 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: means, geometric means (the paper reports Gmean lifetimes
+// in Figure 8), percentiles, and labeled series.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It panics on empty input.
+func Mean(xs []float64) float64 {
+	mustNonEmpty(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) float64 {
+	mustNonEmpty(xs)
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean needs positive values")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Min returns the smallest value in xs.
+func Min(xs []float64) float64 {
+	mustNonEmpty(xs)
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs.
+func Max(xs []float64) float64 {
+	mustNonEmpty(xs)
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	mu := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	mustNonEmpty(xs)
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0, 100]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	if lo == len(s)-1 {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Normalize divides every value by denom. It panics if denom is zero.
+func Normalize(xs []float64, denom float64) []float64 {
+	if denom == 0 {
+		panic("stats: Normalize by zero")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / denom
+	}
+	return out
+}
+
+func mustNonEmpty(xs []float64) {
+	if len(xs) == 0 {
+		panic("stats: empty input")
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean([]float64{5}) != 5 {
+		t.Fatal("singleton mean wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 100})
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("GeoMean(1,100) = %v, want 10", got)
+	}
+	if math.Abs(GeoMean([]float64{4, 4, 4})-4) > 1e-9 {
+		t.Fatal("constant GeoMean wrong")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero value")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{2, 2, 2}) != 0 {
+		t.Fatal("constant stddev nonzero")
+	}
+	got := Stddev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Stddev(1,3) = %v, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(xs, 50); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("median = %v, want 25", got)
+	}
+	if Percentile([]float64{7}, 50) != 7 {
+		t.Fatal("singleton percentile wrong")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+		func() { Mean(nil) },
+		func() { GeoMean(nil) },
+		func() { Normalize([]float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4}, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Normalize = %v", got)
+	}
+}
+
+// Property: GeoMean <= Mean (AM-GM inequality) for positive inputs.
+func TestAMGMProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Min <= Percentile(p) <= Max for any p.
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(a, b, c, d uint8, p uint8) bool {
+		xs := []float64{float64(a), float64(b), float64(c), float64(d)}
+		pct := float64(p) / 255 * 100
+		v := Percentile(xs, pct)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

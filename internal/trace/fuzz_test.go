@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary text at the trace parser: it must never
+// panic, and anything it accepts must re-encode and re-decode to the same
+// records (round-trip stability).
+func FuzzDecode(f *testing.F) {
+	f.Add("W 5\nR 7\n")
+	f.Add("# comment\n\nw 0\n")
+	f.Add("X 5\n")
+	f.Add("W -3\n")
+	f.Add("W 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		records, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var b strings.Builder
+		if err := Encode(&b, records); err != nil {
+			t.Fatalf("accepted records failed to encode: %v", err)
+		}
+		again, err := Decode(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(records), len(again))
+		}
+		for i := range again {
+			if again[i] != records[i] {
+				t.Fatalf("record %d changed: %+v -> %+v", i, records[i], again[i])
+			}
+		}
+	})
+}

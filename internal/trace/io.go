@@ -1,0 +1,77 @@
+// io.go gives traces a file representation so workloads can be captured,
+// shared, and replayed against different stack configurations. The format
+// is line-oriented text, one record per line:
+//
+//	# comment or blank lines are ignored
+//	W 4096
+//	R 123
+//
+// ("W"/"R" followed by a decimal line address.) The format is trivially
+// producible from memory-trace converters; cmd/tracegen writes it and
+// cmd/replay consumes it.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode serializes records to w in the text format.
+func Encode(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range records {
+		if r.Line < 0 {
+			return fmt.Errorf("trace: record %d has negative address %d", i, r.Line)
+		}
+		op := "R"
+		if r.Op == Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", op, r.Line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the text format. Comment lines (starting with '#') and
+// blank lines are ignored. Parsing is strict about everything else: a
+// malformed line aborts with its line number.
+func Decode(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want \"W|R <addr>\", got %q", lineNo, text)
+		}
+		var op Op
+		switch fields[0] {
+		case "W", "w":
+			op = Write
+		case "R", "r":
+			op = Read
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.Atoi(fields[1])
+		if err != nil || addr < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
+		}
+		out = append(out, Record{Op: op, Line: addr})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, err := NewGenerator(1000, OLTPLike(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := g.Generate(500)
+	var b strings.Builder
+	if err := Encode(&b, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(records))
+	}
+	for i := range got {
+		if got[i] != records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestDecodeCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\nW 5\n   \nr 7\n# trailing\n"
+	got, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	if got[0] != (Record{Op: Write, Line: 5}) {
+		t.Fatalf("record 0 = %+v", got[0])
+	}
+	if got[1] != (Record{Op: Read, Line: 7}) {
+		t.Fatalf("record 1 = %+v", got[1])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"X 5\n",
+		"W\n",
+		"W 5 6\n",
+		"W -1\n",
+		"W five\n",
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Fatalf("malformed input %q accepted", c)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("error %v does not cite the line number", err)
+		}
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	got, err := Decode(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty input produced records")
+	}
+}
+
+func TestEncodeRejectsNegative(t *testing.T) {
+	var b strings.Builder
+	if err := Encode(&b, []Record{{Op: Write, Line: -3}}); err == nil {
+		t.Fatal("negative address accepted")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, strings.NewReader("").UnreadByte() // any non-nil error
+}
+
+func TestEncodePropagatesWriteError(t *testing.T) {
+	// A writer that always fails must surface an error (possibly at
+	// flush time for small payloads, so use enough records to overflow
+	// the bufio buffer or rely on Flush).
+	recs := make([]Record, 10000)
+	for i := range recs {
+		recs[i] = Record{Op: Write, Line: i}
+	}
+	if err := Encode(failWriter{}, recs); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace generates synthetic memory reference traces for the
+// non-adversarial experiments and examples: mixes of sequential,
+// uniformly random and Zipf-distributed accesses with a configurable
+// write ratio. The paper's NVMsim generates requests directly from attack
+// models; trace provides the benign counterpart so examples can contrast
+// normal workloads against attacks.
+package trace
+
+import (
+	"fmt"
+
+	"maxwe/internal/xrand"
+)
+
+// Op is a memory operation kind.
+type Op int
+
+const (
+	// Read is a load; reads do not wear NVM cells.
+	Read Op = iota
+	// Write is a store.
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Record is one trace entry.
+type Record struct {
+	Op   Op
+	Line int
+}
+
+// Mix describes a synthetic workload as proportions of address patterns.
+// The proportions are weights; they need not sum to 1.
+type Mix struct {
+	// Sequential weight: addresses sweep the space in order.
+	Sequential float64
+	// Random weight: addresses are uniformly random.
+	Random float64
+	// Zipf weight: addresses follow a Zipf(ZipfS) popularity law.
+	Zipf float64
+	// ZipfS is the Zipf exponent (used only when Zipf > 0).
+	ZipfS float64
+	// WriteRatio is the fraction of operations that are writes, in [0,1].
+	WriteRatio float64
+}
+
+// Validate reports whether the mix is usable.
+func (m Mix) Validate() error {
+	if m.Sequential < 0 || m.Random < 0 || m.Zipf < 0 {
+		return fmt.Errorf("trace: negative pattern weight in %+v", m)
+	}
+	if m.Sequential+m.Random+m.Zipf <= 0 {
+		return fmt.Errorf("trace: all pattern weights zero")
+	}
+	if m.WriteRatio < 0 || m.WriteRatio > 1 {
+		return fmt.Errorf("trace: write ratio %v outside [0,1]", m.WriteRatio)
+	}
+	if m.Zipf > 0 && m.ZipfS < 0 {
+		return fmt.Errorf("trace: negative Zipf exponent %v", m.ZipfS)
+	}
+	return nil
+}
+
+// OLTPLike returns a typical transactional mix: mostly Zipf-skewed with a
+// moderate write ratio.
+func OLTPLike() Mix {
+	return Mix{Zipf: 0.8, Random: 0.2, ZipfS: 1.1, WriteRatio: 0.4}
+}
+
+// StreamingLike returns a scan-heavy mix.
+func StreamingLike() Mix {
+	return Mix{Sequential: 0.9, Random: 0.1, WriteRatio: 0.5}
+}
+
+// Generator produces trace records over a line address space.
+type Generator struct {
+	mix     Mix
+	lines   int
+	seqNext int
+	zipf    *xrand.Zipf
+	perm    []int
+	chooser *xrand.WeightedChooser
+	src     *xrand.Source
+}
+
+// NewGenerator builds a generator over lines addresses with the given mix
+// and randomness source.
+func NewGenerator(lines int, mix Mix, src *xrand.Source) (*Generator, error) {
+	if lines <= 0 {
+		return nil, fmt.Errorf("trace: lines must be positive, got %d", lines)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("trace: nil randomness source")
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		mix:     mix,
+		lines:   lines,
+		chooser: xrand.NewWeightedChooser([]float64{mix.Sequential, mix.Random, mix.Zipf}),
+		src:     src,
+	}
+	if mix.Zipf > 0 {
+		g.zipf = xrand.NewZipf(lines, mix.ZipfS)
+		g.perm = src.Perm(lines)
+	}
+	return g, nil
+}
+
+// Next returns the next trace record.
+func (g *Generator) Next() Record {
+	var line int
+	switch g.chooser.Draw(g.src) {
+	case 0: // sequential
+		line = g.seqNext
+		g.seqNext++
+		if g.seqNext == g.lines {
+			g.seqNext = 0
+		}
+	case 1: // random
+		line = g.src.Intn(g.lines)
+	default: // zipf
+		line = g.perm[g.zipf.Draw(g.src)]
+	}
+	op := Read
+	if g.src.Float64() < g.mix.WriteRatio {
+		op = Write
+	}
+	return Record{Op: op, Line: line}
+}
+
+// Generate returns n records.
+func (g *Generator) Generate(n int) []Record {
+	if n < 0 {
+		panic("trace: Generate needs non-negative n")
+	}
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

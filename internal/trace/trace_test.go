@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestMixValidate(t *testing.T) {
+	good := []Mix{
+		{Sequential: 1},
+		{Random: 1, WriteRatio: 1},
+		{Zipf: 1, ZipfS: 1.2, WriteRatio: 0.5},
+		OLTPLike(),
+		StreamingLike(),
+	}
+	for i, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("good mix %d rejected: %v", i, err)
+		}
+	}
+	bad := []Mix{
+		{},
+		{Sequential: -1, Random: 2},
+		{Random: 1, WriteRatio: 1.5},
+		{Random: 1, WriteRatio: -0.1},
+		{Zipf: 1, ZipfS: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad mix %d accepted", i)
+		}
+	}
+}
+
+func TestNewGeneratorErrors(t *testing.T) {
+	if _, err := NewGenerator(0, OLTPLike(), xrand.New(1)); err == nil {
+		t.Fatal("zero lines accepted")
+	}
+	if _, err := NewGenerator(10, OLTPLike(), nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewGenerator(10, Mix{}, xrand.New(1)); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+}
+
+func TestSequentialMixSweeps(t *testing.T) {
+	g, err := NewGenerator(8, Mix{Sequential: 1, WriteRatio: 1}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			r := g.Next()
+			if r.Line != i {
+				t.Fatalf("sequential line = %d, want %d", r.Line, i)
+			}
+			if r.Op != Write {
+				t.Fatal("WriteRatio=1 produced a read")
+			}
+		}
+	}
+}
+
+func TestWriteRatio(t *testing.T) {
+	g, err := NewGenerator(100, Mix{Random: 1, WriteRatio: 0.3}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Op == Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("write fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestZipfMixSkews(t *testing.T) {
+	g, err := NewGenerator(1000, Mix{Zipf: 1, ZipfS: 1.3, WriteRatio: 1}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Line]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/50 {
+		t.Fatalf("hottest line only %d/%d writes; Zipf skew missing", max, n)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	g, err := NewGenerator(16, StreamingLike(), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Generate(100)
+	if len(recs) != 100 {
+		t.Fatalf("Generate returned %d records", len(recs))
+	}
+	for _, r := range recs {
+		if r.Line < 0 || r.Line >= 16 {
+			t.Fatalf("record line %d out of range", r.Line)
+		}
+	}
+	if len(g.Generate(0)) != 0 {
+		t.Fatal("Generate(0) not empty")
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	g, _ := NewGenerator(4, StreamingLike(), xrand.New(6))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Generate(-1)
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Op strings wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewGenerator(64, OLTPLike(), xrand.New(7))
+	b, _ := NewGenerator(64, OLTPLike(), xrand.New(7))
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("generators diverged at %d", i)
+		}
+	}
+}

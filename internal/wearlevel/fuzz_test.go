@@ -1,0 +1,65 @@
+package wearlevel
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+// FuzzStartGapInjective drives start-gap with arbitrary psi/size/write
+// sequences and checks the translation stays an injection avoiding the
+// gap.
+func FuzzStartGapInjective(f *testing.F) {
+	f.Add(uint8(16), uint8(4), uint16(100))
+	f.Add(uint8(2), uint8(1), uint16(7))
+	f.Add(uint8(255), uint8(9), uint16(1000))
+	f.Fuzz(func(t *testing.T, nRaw, psiRaw uint8, steps uint16) {
+		n := int(nRaw%62) + 2 // [2, 63]
+		psi := int(psiRaw%9) + 1
+		l := NewStartGap(n, psi)
+		m := &recordingMover{}
+		for s := 0; s < int(steps%600); s++ {
+			if !l.OnWrite(s%(n-1), m) {
+				t.Fatal("failed with healthy mover")
+			}
+			seen := make([]bool, n)
+			for lla := 0; lla < n-1; lla++ {
+				u := l.Translate(lla)
+				if u < 0 || u >= n || u == l.Gap() || seen[u] {
+					t.Fatalf("step %d: bad translation %d -> %d (gap %d)", s, lla, u, l.Gap())
+				}
+				seen[u] = true
+			}
+		}
+	})
+}
+
+// FuzzSecurityRefreshBijective drives security refresh with arbitrary
+// parameters and checks the keyed mapping stays a bijection throughout
+// incremental refresh.
+func FuzzSecurityRefreshBijective(f *testing.F) {
+	f.Add(uint8(4), uint8(1), uint16(50), uint64(1))
+	f.Add(uint8(6), uint8(3), uint16(500), uint64(99))
+	f.Fuzz(func(t *testing.T, bits, psiRaw uint8, steps uint16, seed uint64) {
+		n := 1 << (int(bits%6) + 2) // 4..128 lines
+		psi := int(psiRaw%5) + 1
+		l := NewSecurityRefresh(n, psi, xrand.New(seed))
+		m := &recordingMover{}
+		for s := 0; s < int(steps%800); s++ {
+			if !l.OnWrite(s%n, m) {
+				t.Fatal("failed with healthy mover")
+			}
+			if s%37 != 0 {
+				continue
+			}
+			seen := make([]bool, n)
+			for a := 0; a < n; a++ {
+				p := l.Translate(a)
+				if p < 0 || p >= n || seen[p] {
+					t.Fatalf("step %d: mapping not bijective at %d -> %d", s, a, p)
+				}
+				seen[p] = true
+			}
+		}
+	})
+}

@@ -1,0 +1,103 @@
+// partitioned.go implements the region-based composition pattern that
+// production wear-leveling designs use (e.g. Qureshi et al.'s
+// region-based Start-Gap): the address space is split into equal
+// partitions, a static random permutation scatters logical lines across
+// partitions, and an independent inner leveler runs inside each
+// partition. This keeps per-leveler state small while the static
+// scatter breaks the spatial correlation an attacker could exploit.
+package wearlevel
+
+import (
+	"fmt"
+
+	"maxwe/internal/xrand"
+)
+
+// Partitioned composes per-partition inner levelers behind a static
+// random scatter.
+type Partitioned struct {
+	inner []Leveler
+	// scatter maps a logical line to (partition, innerLogical); it is a
+	// static bijection fixed at construction.
+	scatterPart  []int
+	scatterInner []int
+	partSlots    int
+	logical      int
+}
+
+// NewPartitioned splits `partitions * innerLogical(slots)` lines across
+// the inner levelers built by mk. mk is called once per partition with
+// the partition index and must return a leveler over partSlots slots.
+// All inner levelers must report the same logical size.
+func NewPartitioned(partitions, partSlots int, src *xrand.Source,
+	mk func(partition, slots int) Leveler) *Partitioned {
+	if partitions < 1 || partSlots < 1 {
+		panic("wearlevel: NewPartitioned needs positive partitions and partSlots")
+	}
+	if src == nil {
+		panic("wearlevel: NewPartitioned needs a randomness source")
+	}
+	if mk == nil {
+		panic("wearlevel: NewPartitioned needs an inner constructor")
+	}
+	p := &Partitioned{
+		inner:     make([]Leveler, partitions),
+		partSlots: partSlots,
+	}
+	innerLogical := -1
+	for i := range p.inner {
+		p.inner[i] = mk(i, partSlots)
+		if p.inner[i] == nil {
+			panic("wearlevel: inner constructor returned nil")
+		}
+		if innerLogical == -1 {
+			innerLogical = p.inner[i].LogicalLines()
+		} else if p.inner[i].LogicalLines() != innerLogical {
+			panic("wearlevel: inner levelers disagree on logical size")
+		}
+		if innerLogical > partSlots {
+			panic("wearlevel: inner logical size exceeds partition slots")
+		}
+	}
+	p.logical = partitions * innerLogical
+	// Static scatter: a random permutation of all logical positions.
+	perm := src.Perm(p.logical)
+	p.scatterPart = make([]int, p.logical)
+	p.scatterInner = make([]int, p.logical)
+	for lla, pos := range perm {
+		p.scatterPart[lla] = pos / innerLogical
+		p.scatterInner[lla] = pos % innerLogical
+	}
+	return p
+}
+
+func (p *Partitioned) Name() string {
+	return fmt.Sprintf("partitioned-%s", p.inner[0].Name())
+}
+
+func (p *Partitioned) LogicalLines() int { return p.logical }
+
+func (p *Partitioned) Translate(lla int) int {
+	if lla < 0 || lla >= p.logical {
+		panic(fmt.Sprintf("wearlevel: logical line %d out of range [0,%d)", lla, p.logical))
+	}
+	part := p.scatterPart[lla]
+	inner := p.inner[part].Translate(p.scatterInner[lla])
+	return part*p.partSlots + inner
+}
+
+func (p *Partitioned) OnWrite(lla int, mov Mover) bool {
+	part := p.scatterPart[lla]
+	return p.inner[part].OnWrite(p.scatterInner[lla], &partitionMover{
+		mov: mov, base: part * p.partSlots,
+	})
+}
+
+// partitionMover rebases an inner leveler's slot writes into the full
+// space.
+type partitionMover struct {
+	mov  Mover
+	base int
+}
+
+func (m *partitionMover) WriteSlot(u int) bool { return m.mov.WriteSlot(m.base + u) }

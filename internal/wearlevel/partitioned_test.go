@@ -1,0 +1,140 @@
+package wearlevel
+
+import (
+	"strings"
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func newPartitionedStartGap(t *testing.T) *Partitioned {
+	t.Helper()
+	return NewPartitioned(4, 16, xrand.New(1), func(_, slots int) Leveler {
+		return NewStartGap(slots, 4)
+	})
+}
+
+func TestPartitionedGeometry(t *testing.T) {
+	p := newPartitionedStartGap(t)
+	// 4 partitions x (16-1) logical lines each.
+	if p.LogicalLines() != 60 {
+		t.Fatalf("LogicalLines = %d, want 60", p.LogicalLines())
+	}
+	if !strings.HasPrefix(p.Name(), "partitioned-") {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestPartitionedInjective(t *testing.T) {
+	p := newPartitionedStartGap(t)
+	m := &recordingMover{}
+	src := xrand.New(2)
+	for step := 0; step < 2000; step++ {
+		if step%101 == 0 {
+			seen := map[int]bool{}
+			for lla := 0; lla < p.LogicalLines(); lla++ {
+				u := p.Translate(lla)
+				if u < 0 || u >= 64 {
+					t.Fatalf("step %d: slot %d out of range", step, u)
+				}
+				if seen[u] {
+					t.Fatalf("step %d: slot %d hit twice", step, u)
+				}
+				seen[u] = true
+			}
+		}
+		if !p.OnWrite(src.Intn(p.LogicalLines()), m) {
+			t.Fatal("partitioned leveler failed with healthy mover")
+		}
+	}
+	// Inner gap movements must have produced rebased movement writes.
+	if len(m.writes) == 0 {
+		t.Fatal("no movement traffic")
+	}
+	for _, w := range m.writes {
+		if w < 0 || w >= 64 {
+			t.Fatalf("movement write to out-of-range slot %d", w)
+		}
+	}
+}
+
+func TestPartitionedScatterSpreads(t *testing.T) {
+	p := newPartitionedStartGap(t)
+	// Consecutive logical lines must not all land in one partition.
+	parts := map[int]bool{}
+	for lla := 0; lla < 8; lla++ {
+		parts[p.Translate(lla)/16] = true
+	}
+	if len(parts) < 2 {
+		t.Fatalf("first 8 logical lines confined to %d partition(s)", len(parts))
+	}
+}
+
+func TestPartitionedMixedInners(t *testing.T) {
+	// Compose security refresh inside partitions.
+	p := NewPartitioned(2, 16, xrand.New(3), func(i, slots int) Leveler {
+		return NewSecurityRefresh(slots, 2, xrand.New(uint64(10+i)))
+	})
+	if p.LogicalLines() != 32 {
+		t.Fatalf("LogicalLines = %d", p.LogicalLines())
+	}
+	m := &recordingMover{}
+	for step := 0; step < 500; step++ {
+		if !p.OnWrite(step%32, m) {
+			t.Fatal("failed")
+		}
+	}
+	seen := map[int]bool{}
+	for lla := 0; lla < 32; lla++ {
+		u := p.Translate(lla)
+		if seen[u] {
+			t.Fatal("not injective with security-refresh inners")
+		}
+		seen[u] = true
+	}
+}
+
+func TestPartitionedFailurePropagates(t *testing.T) {
+	p := newPartitionedStartGap(t)
+	m := &recordingMover{fail: true}
+	for i := 0; i < 200; i++ {
+		if !p.OnWrite(i%p.LogicalLines(), m) {
+			return
+		}
+	}
+	t.Fatal("failure never propagated")
+}
+
+func TestPartitionedPanics(t *testing.T) {
+	mk := func(_, slots int) Leveler { return NewStartGap(slots, 1) }
+	for _, f := range []func(){
+		func() { NewPartitioned(0, 4, xrand.New(1), mk) },
+		func() { NewPartitioned(2, 0, xrand.New(1), mk) },
+		func() { NewPartitioned(2, 4, nil, mk) },
+		func() { NewPartitioned(2, 4, xrand.New(1), nil) },
+		func() {
+			NewPartitioned(2, 4, xrand.New(1), func(int, int) Leveler { return nil })
+		},
+		func() {
+			// Inner levelers of inconsistent logical size.
+			i := 0
+			NewPartitioned(2, 8, xrand.New(1), func(int, int) Leveler {
+				i++
+				if i == 1 {
+					return NewStartGap(8, 1) // 7 logical
+				}
+				return NewIdentity(8) // 8 logical
+			})
+		},
+		func() { newPartitionedStartGap(t).Translate(60) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

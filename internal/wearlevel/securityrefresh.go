@@ -1,0 +1,232 @@
+// securityrefresh.go implements Seong et al.'s Security Refresh
+// (ISCA'10) faithfully at algorithm level: XOR-keyed randomized address
+// remapping refreshed incrementally, and its two-level composition (the
+// paper's TLSR baseline). Unlike the behavioural SwapWL model, this is
+// the published mechanism: two keys per round, a refresh pointer, and a
+// pair swap per refresh step.
+package wearlevel
+
+import (
+	"fmt"
+
+	"maxwe/internal/xrand"
+)
+
+// SecurityRefresh remaps a power-of-two address space with an XOR key.
+// Each refresh round draws a fresh key and migrates lines to their new
+// locations incrementally: every Psi user writes, one unrefreshed logical
+// address a is processed by swapping the physical locations a^keyPrev and
+// a^keyCur (two data-movement writes), which simultaneously migrates a
+// and its partner a^keyPrev^keyCur.
+type SecurityRefresh struct {
+	n       int // power-of-two line count
+	mask    uint64
+	psi     int
+	keyPrev uint64
+	keyCur  uint64
+	// refreshed[a] records whether logical address a already uses keyCur
+	// this round.
+	refreshed []bool
+	pointer   int // next candidate logical address to refresh
+	since     int
+	rounds    int64
+	src       *xrand.Source
+}
+
+// NewSecurityRefresh builds a single-level security-refresh controller
+// over n lines (n must be a power of two >= 2) with refresh period psi.
+func NewSecurityRefresh(n, psi int, src *xrand.Source) *SecurityRefresh {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("wearlevel: SecurityRefresh needs a power-of-two space, got %d", n))
+	}
+	if psi < 1 {
+		panic("wearlevel: SecurityRefresh needs psi >= 1")
+	}
+	if src == nil {
+		panic("wearlevel: SecurityRefresh needs a randomness source")
+	}
+	l := &SecurityRefresh{
+		n:         n,
+		mask:      uint64(n - 1),
+		psi:       psi,
+		refreshed: make([]bool, n),
+		src:       src,
+	}
+	// First round starts with both keys zero (identity mapping) and
+	// immediately begins migrating toward a random key.
+	l.keyPrev = 0
+	l.keyCur = src.Uint64() & l.mask
+	return l
+}
+
+func (l *SecurityRefresh) Name() string      { return "security-refresh" }
+func (l *SecurityRefresh) LogicalLines() int { return l.n }
+
+// Translate maps logical address a to its physical location under the
+// current refresh state: the new key once a has been refreshed this
+// round, the previous key before that.
+func (l *SecurityRefresh) Translate(a int) int {
+	if a < 0 || a >= l.n {
+		panic(fmt.Sprintf("wearlevel: logical line %d out of range [0,%d)", a, l.n))
+	}
+	if l.refreshed[a] {
+		return int(uint64(a) ^ l.keyCur)
+	}
+	return int(uint64(a) ^ l.keyPrev)
+}
+
+// Rounds returns how many complete refresh rounds have finished.
+func (l *SecurityRefresh) Rounds() int64 { return l.rounds }
+
+// OnWrite advances the refresh schedule: every psi user writes, one
+// refresh step migrates a pair of lines to the new key.
+func (l *SecurityRefresh) OnWrite(_ int, mov Mover) bool {
+	l.since++
+	if l.since < l.psi {
+		return true
+	}
+	l.since = 0
+	return l.refreshStep(mov)
+}
+
+func (l *SecurityRefresh) refreshStep(mov Mover) bool {
+	// Find the next unrefreshed logical address.
+	for l.pointer < l.n && l.refreshed[l.pointer] {
+		l.pointer++
+	}
+	if l.pointer == l.n {
+		l.completeRound()
+		return true
+	}
+	a := uint64(l.pointer)
+	partner := a ^ l.keyPrev ^ l.keyCur
+	oldLoc := int(a ^ l.keyPrev) // == partner ^ keyCur
+	newLoc := int(a ^ l.keyCur)  // == partner ^ keyPrev
+	if oldLoc != newLoc {
+		// Swap the two physical locations: two data-movement writes.
+		if !mov.WriteSlot(newLoc) {
+			return false
+		}
+		if !mov.WriteSlot(oldLoc) {
+			return false
+		}
+	}
+	l.refreshed[a] = true
+	l.refreshed[partner] = true
+	return true
+}
+
+func (l *SecurityRefresh) completeRound() {
+	l.rounds++
+	l.keyPrev = l.keyCur
+	l.keyCur = l.src.Uint64() & l.mask
+	for i := range l.refreshed {
+		l.refreshed[i] = false
+	}
+	l.pointer = 0
+}
+
+// TwoLevelSecurityRefresh composes an outer controller that remaps
+// sub-region indexes with one inner controller per sub-region that remaps
+// offsets — Seong et al.'s two-level organization (the paper's "TLSR").
+// Both dimensions must be powers of two.
+type TwoLevelSecurityRefresh struct {
+	outer     *SecurityRefresh
+	inner     []*SecurityRefresh
+	subSize   int
+	subShift  uint
+	offsetMsk int
+}
+
+// NewTwoLevelSecurityRefresh builds a two-level controller over
+// subRegions x subSize lines. outerPsi and innerPsi set the refresh
+// periods of the two levels (the outer level is typically much slower).
+func NewTwoLevelSecurityRefresh(subRegions, subSize, outerPsi, innerPsi int, src *xrand.Source) *TwoLevelSecurityRefresh {
+	if subRegions < 2 || subRegions&(subRegions-1) != 0 {
+		panic("wearlevel: TwoLevelSecurityRefresh needs power-of-two subRegions")
+	}
+	if subSize < 2 || subSize&(subSize-1) != 0 {
+		panic("wearlevel: TwoLevelSecurityRefresh needs power-of-two subSize")
+	}
+	shift := uint(0)
+	for 1<<shift != subSize {
+		shift++
+	}
+	l := &TwoLevelSecurityRefresh{
+		outer:     NewSecurityRefresh(subRegions, outerPsi, src),
+		inner:     make([]*SecurityRefresh, subRegions),
+		subSize:   subSize,
+		subShift:  shift,
+		offsetMsk: subSize - 1,
+	}
+	for i := range l.inner {
+		l.inner[i] = NewSecurityRefresh(subSize, innerPsi, src)
+	}
+	return l
+}
+
+func (l *TwoLevelSecurityRefresh) Name() string { return "tlsr-exact" }
+
+func (l *TwoLevelSecurityRefresh) LogicalLines() int {
+	return len(l.inner) * l.subSize
+}
+
+// Translate applies the inner remap to the offset within the logical
+// sub-region, then the outer remap to the sub-region index.
+func (l *TwoLevelSecurityRefresh) Translate(a int) int {
+	if a < 0 || a >= l.LogicalLines() {
+		panic(fmt.Sprintf("wearlevel: logical line %d out of range [0,%d)", a, l.LogicalLines()))
+	}
+	sub := a >> l.subShift
+	off := a & l.offsetMsk
+	newOff := l.inner[sub].Translate(off)
+	newSub := l.outer.Translate(sub)
+	return newSub<<l.subShift | newOff
+}
+
+// OnWrite advances the inner controller of the written sub-region and the
+// outer controller.
+//
+// Note: the outer level remaps whole sub-regions; a faithful hardware
+// implementation migrates an entire sub-region's worth of lines per outer
+// refresh. Here an outer refresh step issues subSize paired moves through
+// the Mover (costed as 2*subSize writes spread over the step), which is
+// the same total traffic.
+func (l *TwoLevelSecurityRefresh) OnWrite(a int, mov Mover) bool {
+	sub := a >> l.subShift
+	if !l.inner[sub].OnWrite(a&l.offsetMsk, &offsetMover{mov: mov, l: l, sub: sub}) {
+		return false
+	}
+	return l.outer.OnWrite(sub, &subregionMover{mov: mov, l: l})
+}
+
+// offsetMover lifts an inner-level move (an offset within sub-region sub)
+// to a full-space slot write, applying the *outer* mapping so the data
+// lands where reads will look for it.
+type offsetMover struct {
+	mov Mover
+	l   *TwoLevelSecurityRefresh
+	sub int
+}
+
+func (m *offsetMover) WriteSlot(off int) bool {
+	newSub := m.l.outer.Translate(m.sub)
+	return m.mov.WriteSlot(newSub<<m.l.subShift | off)
+}
+
+// subregionMover expands an outer-level move (a sub-region index) into
+// writes to every line of that physical sub-region.
+type subregionMover struct {
+	mov Mover
+	l   *TwoLevelSecurityRefresh
+}
+
+func (m *subregionMover) WriteSlot(sub int) bool {
+	base := sub << m.l.subShift
+	for off := 0; off < m.l.subSize; off++ {
+		if !m.mov.WriteSlot(base | off) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package wearlevel
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestSecurityRefreshBijective(t *testing.T) {
+	l := NewSecurityRefresh(64, 2, xrand.New(1))
+	m := &recordingMover{}
+	src := xrand.New(2)
+	for step := 0; step < 5000; step++ {
+		if step%97 == 0 {
+			seen := make([]bool, 64)
+			for a := 0; a < 64; a++ {
+				p := l.Translate(a)
+				if p < 0 || p >= 64 || seen[p] {
+					t.Fatalf("step %d: translation not bijective at %d -> %d", step, a, p)
+				}
+				seen[p] = true
+			}
+		}
+		if !l.OnWrite(src.Intn(64), m) {
+			t.Fatal("refresh failed with healthy mover")
+		}
+	}
+	if l.Rounds() == 0 {
+		t.Fatal("no refresh round completed in 5000 writes with psi=2")
+	}
+}
+
+func TestSecurityRefreshStartsIdentityThenRandomizes(t *testing.T) {
+	l := NewSecurityRefresh(32, 1, xrand.New(3))
+	// Before any refresh step, keyPrev = 0: identity.
+	for a := 0; a < 32; a++ {
+		if l.Translate(a) != a {
+			t.Fatal("initial mapping not identity")
+		}
+	}
+	m := &recordingMover{}
+	for i := 0; i < 16*4; i++ { // enough steps for at least one round
+		l.OnWrite(0, m)
+	}
+	moved := 0
+	for a := 0; a < 32; a++ {
+		if l.Translate(a) != a {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("mapping still identity after a refresh round")
+	}
+}
+
+func TestSecurityRefreshPairSwapCosts(t *testing.T) {
+	l := NewSecurityRefresh(16, 1, xrand.New(4))
+	m := &recordingMover{}
+	// One refresh step per write; each non-degenerate step writes exactly
+	// two slots. Run half a round and check parity.
+	steps := 0
+	for i := 0; i < 8; i++ {
+		l.OnWrite(0, m)
+		steps++
+	}
+	if len(m.writes)%2 != 0 {
+		t.Fatalf("odd number of movement writes: %d", len(m.writes))
+	}
+	if len(m.writes) > 2*steps {
+		t.Fatalf("more than one pair swap per step: %d writes in %d steps", len(m.writes), steps)
+	}
+}
+
+func TestSecurityRefreshFailurePropagates(t *testing.T) {
+	l := NewSecurityRefresh(16, 1, xrand.New(5))
+	m := &recordingMover{fail: true}
+	for i := 0; i < 100; i++ {
+		if !l.OnWrite(0, m) {
+			return
+		}
+	}
+	t.Fatal("mover failure never propagated")
+}
+
+func TestSecurityRefreshPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSecurityRefresh(0, 1, xrand.New(1)) },
+		func() { NewSecurityRefresh(3, 1, xrand.New(1)) },
+		func() { NewSecurityRefresh(4, 0, xrand.New(1)) },
+		func() { NewSecurityRefresh(4, 1, nil) },
+		func() { NewSecurityRefresh(4, 1, xrand.New(1)).Translate(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTwoLevelBijective(t *testing.T) {
+	l := NewTwoLevelSecurityRefresh(8, 16, 64, 4, xrand.New(6))
+	if l.LogicalLines() != 128 {
+		t.Fatalf("logical lines = %d", l.LogicalLines())
+	}
+	m := &recordingMover{}
+	src := xrand.New(7)
+	for step := 0; step < 4000; step++ {
+		if step%111 == 0 {
+			seen := make([]bool, 128)
+			for a := 0; a < 128; a++ {
+				p := l.Translate(a)
+				if p < 0 || p >= 128 || seen[p] {
+					t.Fatalf("step %d: two-level translation not bijective (%d -> %d)", step, a, p)
+				}
+				seen[p] = true
+			}
+		}
+		if !l.OnWrite(src.Intn(128), m) {
+			t.Fatal("two-level refresh failed with healthy mover")
+		}
+	}
+	if len(m.writes) == 0 {
+		t.Fatal("no refresh traffic generated")
+	}
+	for _, w := range m.writes {
+		if w < 0 || w >= 128 {
+			t.Fatalf("movement write to out-of-range slot %d", w)
+		}
+	}
+}
+
+func TestTwoLevelPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTwoLevelSecurityRefresh(3, 16, 8, 8, xrand.New(1)) },
+		func() { NewTwoLevelSecurityRefresh(4, 3, 8, 8, xrand.New(1)) },
+		func() { NewTwoLevelSecurityRefresh(4, 4, 8, 8, xrand.New(1)).Translate(16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTwoLevelFailurePropagates(t *testing.T) {
+	l := NewTwoLevelSecurityRefresh(4, 4, 1, 1, xrand.New(8))
+	m := &recordingMover{fail: true}
+	for i := 0; i < 200; i++ {
+		if !l.OnWrite(i%16, m) {
+			return
+		}
+	}
+	t.Fatal("two-level mover failure never propagated")
+}

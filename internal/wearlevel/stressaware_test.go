@@ -1,0 +1,92 @@
+package wearlevel
+
+import "testing"
+
+func TestStressAwareSwapsHotAndCold(t *testing.T) {
+	l := NewStressAware(8, 4)
+	m := &recordingMover{}
+	// Hammer logical line 3 (slot 3): after enough writes its slot must
+	// be rotated away.
+	for i := 0; i < 40; i++ {
+		if !l.OnWrite(3, m) {
+			t.Fatal("failed with healthy mover")
+		}
+	}
+	if l.Swaps() == 0 {
+		t.Fatal("no swap under a pure hammer")
+	}
+	if l.Translate(3) == 3 {
+		t.Fatal("hammered line still on its original slot")
+	}
+	// 2 movement writes per swap.
+	if int64(len(m.writes)) != 2*l.Swaps() {
+		t.Fatalf("%d movement writes for %d swaps", len(m.writes), l.Swaps())
+	}
+}
+
+func TestStressAwareStaysPermutation(t *testing.T) {
+	l := NewStressAware(16, 2)
+	m := &recordingMover{}
+	for i := 0; i < 3000; i++ {
+		l.OnWrite(i%5, m) // skewed traffic forces many swaps
+	}
+	checkPermutation(t, l, 16)
+	for lla, slot := range l.perm {
+		if l.inv[slot] != lla {
+			t.Fatal("perm/inv inconsistent")
+		}
+	}
+}
+
+func TestStressAwareIdleUnderUniformTraffic(t *testing.T) {
+	// UAA's defining property: uniform stress never exceeds the swap
+	// threshold, so the scheme (nearly) never triggers.
+	l := NewStressAware(16, 4)
+	m := &recordingMover{}
+	for round := 0; round < 200; round++ {
+		for lla := 0; lla < 16; lla++ {
+			l.OnWrite(lla, m)
+		}
+	}
+	if l.Swaps() > 4 {
+		t.Fatalf("stress-aware swapped %d times under uniform traffic", l.Swaps())
+	}
+}
+
+func TestStressAwareTracksWrites(t *testing.T) {
+	l := NewStressAware(4, 100)
+	m := &recordingMover{}
+	l.OnWrite(2, m)
+	l.OnWrite(2, m)
+	if l.SlotWrites(2) != 2 {
+		t.Fatalf("SlotWrites = %d", l.SlotWrites(2))
+	}
+}
+
+func TestStressAwareFailurePropagates(t *testing.T) {
+	l := NewStressAware(4, 1)
+	m := &recordingMover{fail: true}
+	for i := 0; i < 100; i++ {
+		if !l.OnWrite(0, m) {
+			return
+		}
+	}
+	t.Fatal("failure never propagated")
+}
+
+func TestStressAwarePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStressAware(1, 1) },
+		func() { NewStressAware(4, 0) },
+		func() { NewStressAware(4, 1).Translate(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,278 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReseedDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	a.Reseed(42)
+	c := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != c.Uint64() {
+			t.Fatalf("reseeded stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		t.Fatal("zero seed produced all-zero xoshiro state")
+	}
+	_ = r.Uint64()
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+// TestIntnUniform checks a coarse chi-squared-style bound on small-n
+// uniformity: with 8 buckets and 80k draws each bucket expects 10k; allow
+// 5% relative deviation (far beyond ~3.3 sigma).
+func TestIntnUniform(t *testing.T) {
+	r := New(99)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-draws/n) > 0.05*draws/n {
+			t.Fatalf("bucket %d count %d deviates >5%% from %d", b, c, draws/n)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 17, 256} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	seen := map[int]bool{}
+	for _, v := range s {
+		got += v
+		seen[v] = true
+	}
+	if got != sum || len(seen) != len(s) {
+		t.Fatalf("shuffle corrupted slice: %v", s)
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(12345) != Hash64(12345) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("Hash64(1) == Hash64(2): suspicious collision")
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestUint64nBoundProperty(t *testing.T) {
+	r := New(21)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := New(8)
+	var first10, rest int
+	for i := 0; i < 50000; i++ {
+		k := z.Draw(r)
+		if k < 0 || k >= 100 {
+			t.Fatalf("Zipf draw %d out of range", k)
+		}
+		if k < 10 {
+			first10++
+		} else {
+			rest++
+		}
+	}
+	if first10 <= rest {
+		t.Fatalf("Zipf(s=1) not skewed: first10=%d rest=%d", first10, rest)
+	}
+}
+
+func TestZipfZeroExponentUniform(t *testing.T) {
+	z := NewZipf(4, 0)
+	r := New(9)
+	var counts [4]int
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-draws/4) > 0.06*draws/4 {
+			t.Fatalf("Zipf(s=0) bucket %d count %d not uniform", b, c)
+		}
+	}
+}
+
+func TestWeightedChooserProportions(t *testing.T) {
+	w := NewWeightedChooser([]float64{1, 0, 3})
+	r := New(10)
+	var counts [3]int
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[w.Draw(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio 3 sampled as %v", ratio)
+	}
+}
+
+func TestWeightedChooserPanics(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {-1, 2}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewWeightedChooser(%v) did not panic", c)
+				}
+			}()
+			NewWeightedChooser(c)
+		}()
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(2048)
+	}
+}
