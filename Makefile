@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet lint verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/maxwelint ./...
+
+# verify is the tier-1 gate: everything CI runs, one command.
+verify: build vet test race lint

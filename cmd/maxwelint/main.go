@@ -1,0 +1,138 @@
+// Command maxwelint is the repository's static-analysis gate. It walks
+// the requested packages (default ./...) and applies the repo-specific
+// analyzers from internal/lint:
+//
+//	nondeterminism  no math/rand, wall clock, or environment reads in
+//	                simulation packages (internal/xrand only)
+//	floatcmp        no == / != between floats outside approved
+//	                tolerance helpers
+//	panicmsg        panic messages carry the "pkg: " prefix
+//	exporteddoc     exported identifiers carry doc comments
+//	errdrop         error results are handled or explicitly discarded
+//
+// Each finding prints as "file:line: [rule] message" with the file
+// relative to the module root. The exit status is 0 when the tree is
+// clean, 1 when there are findings, and 2 on usage or load errors.
+//
+// Usage:
+//
+//	maxwelint [-rules list] [-disable list] [-exempt rule=prefix,...] [packages]
+//
+// Examples:
+//
+//	maxwelint ./...
+//	maxwelint -rules floatcmp,errdrop ./internal/...
+//	maxwelint -exempt exporteddoc=internal/experiments/ ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"maxwe/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the linter and returns the process exit code.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("maxwelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rules   = fs.String("rules", "", "comma-separated rules to enable (default: all)")
+		disable = fs.String("disable", "", "comma-separated rules to disable")
+		exempts multiFlag
+		list    = fs.Bool("list", false, "list available rules and exit")
+	)
+	fs.Var(&exempts, "exempt", "rule=prefix[,prefix...] paths a rule must not report on (repeatable; rule \"*\" applies to all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: maxwelint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cfg := lint.DefaultConfig()
+	cfg.Enable = splitList(*rules)
+	cfg.Disable = splitList(*disable)
+	for _, e := range exempts {
+		rule, prefixes, ok := strings.Cut(e, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "maxwelint: bad -exempt %q, need rule=prefix[,prefix...]\n", e)
+			return 2
+		}
+		cfg.Exempt[rule] = append(cfg.Exempt[rule], splitList(prefixes)...)
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "maxwelint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(root, fs.Args(), cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "maxwelint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "maxwelint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// multiFlag collects repeated occurrences of a string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, " ") }
+
+// Set appends one occurrence of the flag.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// splitList splits a comma-separated list, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -48,7 +48,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "replay:", err)
 			os.Exit(2)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; nothing to flush
 		in = f
 	}
 	records, err := trace.Decode(in)

@@ -92,11 +92,13 @@ func (p Params) PSWorst() float64 {
 	return (p.N - p.S) * (p.EL + p.S*(p.EH-p.EL)/p.N)
 }
 
-// NormalizedMaxWE, NormalizedPCDPS and NormalizedPSWorst divide the
-// respective lifetimes by the ideal lifetime, producing the z values of
-// Figure 5.
-func (p Params) NormalizedMaxWE() float64   { return p.MaxWE() / p.Ideal() }
-func (p Params) NormalizedPCDPS() float64   { return p.PCDPS() / p.Ideal() }
+// NormalizedMaxWE returns MaxWE()/Ideal(), a z value of Figure 5.
+func (p Params) NormalizedMaxWE() float64 { return p.MaxWE() / p.Ideal() }
+
+// NormalizedPCDPS returns PCDPS()/Ideal(), a z value of Figure 5.
+func (p Params) NormalizedPCDPS() float64 { return p.PCDPS() / p.Ideal() }
+
+// NormalizedPSWorst returns PSWorst()/Ideal(), a z value of Figure 5.
 func (p Params) NormalizedPSWorst() float64 { return p.PSWorst() / p.Ideal() }
 
 // Fig1Point is one x position of Figure 1: lines sorted by descending

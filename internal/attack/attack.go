@@ -42,8 +42,10 @@ type UAA struct {
 // NewUAA returns a fresh uniform address attack starting at line 0.
 func NewUAA() *UAA { return &UAA{} }
 
+// Name implements Attack.
 func (a *UAA) Name() string { return "uaa" }
 
+// Next implements Attack.
 func (a *UAA) Next(n int) int {
 	checkN(n)
 	if a.next >= n {
@@ -81,8 +83,10 @@ func NewPartialUAA(coverage float64) *PartialUAA {
 // Coverage returns the attacked fraction of the address space.
 func (a *PartialUAA) Coverage() float64 { return a.coverage }
 
+// Name implements Attack.
 func (a *PartialUAA) Name() string { return "partial-uaa" }
 
+// Next implements Attack.
 func (a *PartialUAA) Next(n int) int {
 	checkN(n)
 	limit := int(a.coverage * float64(n))
@@ -132,8 +136,10 @@ func NewBPA(setSize, repick int, src *xrand.Source) *BPA {
 // lines re-drawn every 100k writes.
 func DefaultBPA(src *xrand.Source) *BPA { return NewBPA(16, 100_000, src) }
 
+// Name implements Attack.
 func (a *BPA) Name() string { return "bpa" }
 
+// Next implements Attack.
 func (a *BPA) Next(n int) int {
 	checkN(n)
 	if a.victims == nil || a.spaceN != n || (a.repick > 0 && a.writes >= a.repick) {
@@ -188,8 +194,10 @@ func NewTargetedSweep(targets []int) *TargetedSweep {
 	return ts
 }
 
+// Name implements Attack.
 func (a *TargetedSweep) Name() string { return "targeted-sweep" }
 
+// Next implements Attack.
 func (a *TargetedSweep) Next(n int) int {
 	checkN(n)
 	v := a.targets[a.next] % n
@@ -210,8 +218,10 @@ func NewRepeated(addr int) *Repeated {
 	return &Repeated{addr: addr}
 }
 
+// Name implements Attack.
 func (a *Repeated) Name() string { return "repeated" }
 
+// Next implements Attack.
 func (a *Repeated) Next(n int) int {
 	checkN(n)
 	return a.addr % n
@@ -237,8 +247,10 @@ func NewHotCold(n int, s float64, src *xrand.Source) *HotCold {
 	return &HotCold{zipf: xrand.NewZipf(n, s), perm: src.Perm(n), src: src}
 }
 
+// Name implements Attack.
 func (a *HotCold) Name() string { return "hotcold" }
 
+// Next implements Attack.
 func (a *HotCold) Next(n int) int {
 	checkN(n)
 	v := a.perm[a.zipf.Draw(a.src)]
@@ -262,8 +274,10 @@ func NewRandomUniform(src *xrand.Source) *RandomUniform {
 	return &RandomUniform{src: src}
 }
 
+// Name implements Attack.
 func (a *RandomUniform) Name() string { return "random" }
 
+// Next implements Attack.
 func (a *RandomUniform) Next(n int) int {
 	checkN(n)
 	return a.src.Intn(n)

@@ -32,6 +32,7 @@ const (
 	HammerLike
 )
 
+// String returns the verdict name used in reports.
 func (v Verdict) String() string {
 	switch v {
 	case Benign:

@@ -411,8 +411,12 @@ func (p *Profile) RegionsByMetricAsc() []int {
 		ids[i] = i
 	}
 	sort.SliceStable(ids, func(a, b int) bool {
-		if p.regionMetric[ids[a]] != p.regionMetric[ids[b]] {
-			return p.regionMetric[ids[a]] < p.regionMetric[ids[b]]
+		ma, mb := p.regionMetric[ids[a]], p.regionMetric[ids[b]]
+		if ma < mb {
+			return true
+		}
+		if mb < ma {
+			return false
 		}
 		return ids[a] < ids[b]
 	})

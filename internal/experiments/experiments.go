@@ -177,7 +177,7 @@ func (s Setup) runBPA(p *endurance.Profile, sch spare.Scheme, wl string) float64
 		Attack:  attack.DefaultBPA(xrand.New(s.Seed + 3)),
 	})
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 	}
 	return res.NormalizedLifetime
 }
@@ -188,7 +188,7 @@ func (s Setup) runBPA(p *endurance.Profile, sch spare.Scheme, wl string) float64
 func runUAA(p *endurance.Profile, sch spare.Scheme) float64 {
 	res, err := sim.Run(sim.Config{Profile: p, Scheme: sch, Attack: attack.NewUAA()})
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 	}
 	return res.NormalizedLifetime
 }
@@ -355,7 +355,7 @@ func Fig2(s Setup) Fig2Result {
 		Profile: p, Scheme: spare.NewNone(p.Lines()), Attack: attack.NewUAA(),
 	})
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 	}
 	sch := spare.NewNone(p.Lines())
 	leveled, err := sim.Run(sim.Config{
@@ -364,7 +364,7 @@ func Fig2(s Setup) Fig2Result {
 		Attack:  attack.NewUAA(),
 	})
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 	}
 	return Fig2Result{
 		PlainAmplification:   plain.WriteAmplification,

@@ -88,7 +88,7 @@ func CoverageStudy(s Setup, coverages []float64) []CoverageRow {
 				Profile: p, Scheme: sch, Attack: attack.NewPartialUAA(c),
 			})
 			if err != nil {
-				panic(err)
+				panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 			}
 			return res.NormalizedLifetime
 		}
@@ -131,7 +131,7 @@ func GuardStudy(s Setup, writesPerSecond float64) []GuardRow {
 			Scheme:  spare.NewMaxWE(p, spare.DefaultMaxWEOptions()),
 		})
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 		}
 		policy := guarded.Policy{
 			NormalRate:    writesPerSecond,
@@ -142,7 +142,7 @@ func GuardStudy(s Setup, writesPerSecond float64) []GuardRow {
 		}
 		g, err := guarded.New(st, detect.Config{}, policy)
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 		}
 		a := attack.NewUAA()
 		for g.Write(a.Next(g.LogicalLines())) {
@@ -201,7 +201,7 @@ func OracleStudy(s Setup) []OracleRow {
 			Attack:  attack.NewTargetedSweep(targets),
 		})
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 		}
 		row.Oracle = res.NormalizedLifetime
 		out = append(out, row)
@@ -272,7 +272,7 @@ func WLZoo(s Setup) []ZooRow {
 			Attack:  attack.DefaultBPA(xrand.New(s.Seed + 3)),
 		})
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 		}
 		out = append(out, ZooRow{
 			WL:            wl,
@@ -462,7 +462,7 @@ func TLSRModelCheck(s Setup) TLSRModelCheckResult {
 			MaxUserWrites: budget,
 		})
 		if err != nil {
-			panic(err)
+			panic(fmt.Errorf("experiments: sim rejected a validated config: %w", err))
 		}
 		counts := make([]float64, n)
 		for l := 0; l < n; l++ {

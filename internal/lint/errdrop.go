@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errdrop flags call statements that silently discard an error result:
+// a call whose results include an error used as a bare statement (also
+// via defer or go). Assigning the error to "_" is treated as an
+// intentional, visible discard and is not flagged. Callees matched by a
+// Config.ErrdropAllow prefix (fmt printing, strings.Builder and
+// bytes.Buffer writers, which cannot fail) are exempt.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error return values; handle the error or assign " +
+		"it to _ explicitly",
+	Run: runErrdrop,
+}
+
+func runErrdrop(p *Pass) {
+	p.inspectFiles(func(_ *ast.File, n ast.Node) bool {
+		var call *ast.CallExpr
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = stmt.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = stmt.Call
+		case *ast.GoStmt:
+			call = stmt.Call
+		}
+		if call == nil {
+			return true
+		}
+		if !returnsError(p, call) {
+			return true
+		}
+		name := calleeName(p, call)
+		if p.errdropAllowed(name) {
+			return true
+		}
+		p.Reportf(call.Pos(), "error result of %s is discarded; handle it or assign to _", name)
+		return true
+	})
+}
+
+// returnsError reports whether call's result tuple includes an error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.Pkg.Info.TypeOf(call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the error interface (or a named type
+// whose underlying type is it).
+func isErrorType(t types.Type) bool {
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+// calleeName renders the called function for diagnostics and allowlist
+// matching: the fully qualified name when statically known
+// ("fmt.Println", "(*bytes.Buffer).WriteString"), else a best-effort
+// rendering of the call expression.
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.FullName()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// errdropAllowed reports whether the callee matches a configured
+// allowlist prefix.
+func (p *Pass) errdropAllowed(name string) bool {
+	for _, prefix := range p.Cfg.ErrdropAllow {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

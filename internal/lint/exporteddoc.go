@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Exporteddoc requires a doc comment on every exported top-level
+// identifier: functions, methods on exported receivers, types, constants
+// and variables. A grouped const/var/type declaration is satisfied by
+// either a group-level doc comment or a per-spec doc comment; trailing
+// line comments do not count. The wording is not checked — only that the
+// next reader gets something.
+var Exporteddoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc: "require doc comments on exported identifiers in library " +
+		"packages so godoc stays complete",
+	Run: runExporteddoc,
+}
+
+func runExporteddoc(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(p, decl)
+			case *ast.GenDecl:
+				checkGenDoc(p, decl)
+			}
+		}
+	}
+}
+
+// checkFuncDoc flags undocumented exported functions and methods.
+// Methods whose receiver type is unexported are skipped: they are not
+// reachable through godoc.
+func checkFuncDoc(p *Pass, decl *ast.FuncDecl) {
+	if !decl.Name.IsExported() || decl.Doc != nil {
+		return
+	}
+	kind := "function"
+	if decl.Recv != nil {
+		recv := receiverName(decl.Recv)
+		if recv != "" && !token.IsExported(recv) {
+			return
+		}
+		kind = "method"
+	}
+	p.Reportf(decl.Name.Pos(), "exported %s %s is undocumented", kind, decl.Name.Name)
+}
+
+// checkGenDoc flags undocumented exported names in const, var and type
+// declarations. decl.Doc covers every spec in a grouped declaration.
+func checkGenDoc(p *Pass, decl *ast.GenDecl) {
+	if decl.Doc != nil {
+		return
+	}
+	kind := decl.Tok.String()
+	for _, spec := range decl.Specs {
+		switch spec := spec.(type) {
+		case *ast.TypeSpec:
+			if spec.Name.IsExported() && spec.Doc == nil {
+				p.Reportf(spec.Name.Pos(), "exported type %s is undocumented", spec.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if spec.Doc != nil {
+				continue
+			}
+			for _, name := range spec.Names {
+				if name.IsExported() {
+					p.Reportf(name.Pos(), "exported %s %s is undocumented", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName returns the base type name of a method receiver
+// ("Corrector" for (c *Corrector)), or "" when it cannot be determined.
+func receiverName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := ast.Unparen(t).(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Floatcmp flags == and != between floating-point expressions. Exact
+// float equality is almost never what the analytic model (Eq. 3-8) or
+// the experiment harness means; comparisons belong in the approved
+// tolerance helpers (stats.ApproxEqual and friends), whose bodies are
+// exempt. Comparisons against an exact constant zero — the idiomatic
+// guard before a division — are allowed when Config.FloatcmpAllowZero is
+// set, as it is in the default policy.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag == / != between floating-point expressions outside the " +
+		"approved tolerance helpers; use stats.ApproxEqual or an explicit " +
+		"tolerance instead",
+	Run: runFloatcmp,
+}
+
+func runFloatcmp(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && p.floatcmpApproved(fd) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p, bin.X) && !isFloat(p, bin.Y) {
+					return true
+				}
+				if p.Cfg.FloatcmpAllowZero && (isZeroConst(p, bin.X) || isZeroConst(p, bin.Y)) {
+					return true
+				}
+				p.Reportf(bin.OpPos, "floating-point %s comparison; use stats.ApproxEqual or an explicit tolerance", bin.Op)
+				return true
+			})
+		}
+	}
+}
+
+// floatcmpApproved reports whether fd is one of the configured tolerance
+// helpers, matched by suffix of its fully qualified name.
+func (p *Pass) floatcmpApproved(fd *ast.FuncDecl) bool {
+	fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	for _, approved := range p.Cfg.FloatcmpApproved {
+		if full == approved || strings.HasSuffix(full, approved) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether e has floating-point type.
+func isFloat(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time numeric constant equal
+// to zero.
+func isZeroConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// wantRe matches the expectation marker. The quoted strings that follow
+// are extracted by quotedRe.
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// expectation is one parsed "// want" marker: a diagnostic matching re
+// must be reported on line of file.
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunGolden type-checks the package in dir, applies analyzers under cfg,
+// and compares the diagnostics against the "// want" expectations in the
+// source files, analysistest-style. Each marker holds one or more quoted
+// regular expressions:
+//
+//	rand.Seed(1) // want `call to .*` "breaks bit-for-bit"
+//
+// (backquoted strings are accepted too). A pattern is matched against
+// the rendered "[rule] message" of diagnostics reported on the marker's
+// line. RunGolden returns one human-readable failure per unexpected
+// diagnostic and per unmatched expectation; an empty slice means the
+// golden file and the analyzers agree. A nil cfg means DefaultConfig.
+func RunGolden(root, dir string, analyzers []*Analyzer, cfg *Config) ([]string, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := loader.LoadPackage(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in golden dir %s", dir)
+	}
+	expectations, err := parseExpectations(loader.Fset, pkg)
+	if err != nil {
+		return nil, err
+	}
+	diags := analyze(loader.Fset, pkg, cfg, analyzers)
+	sortDiagnostics(diags)
+
+	var failures []string
+	for _, d := range diags {
+		rendered := fmt.Sprintf("[%s] %s", d.Rule, d.Msg)
+		found := false
+		for _, exp := range expectations {
+			if exp.matched || exp.file != d.Pos.Filename || exp.line != d.Pos.Line {
+				continue
+			}
+			if exp.re.MatchString(rendered) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			failures = append(failures, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, exp := range expectations {
+		if !exp.matched {
+			failures = append(failures,
+				fmt.Sprintf("%s:%d: no diagnostic matched %q", exp.file, exp.line, exp.pattern))
+		}
+	}
+	return failures, nil
+}
+
+// parseExpectations collects every "// want" marker in the package,
+// sorted by position.
+func parseExpectations(fset *token.FileSet, pkg *Package) ([]*expectation, error) {
+	var exps []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, comment := range group.List {
+				m := wantRe.FindStringSubmatch(comment.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(comment.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("lint: %s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("lint: %s:%d: want marker without patterns", pos.Filename, pos.Line)
+				}
+				for _, pattern := range patterns {
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("lint: %s:%d: bad want pattern: %w", pos.Filename, pos.Line, err)
+					}
+					exps = append(exps, &expectation{
+						file:    pkg.relFile(pos.Filename),
+						line:    pos.Line,
+						pattern: pattern,
+						re:      re,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		if exps[i].file != exps[j].file {
+			return exps[i].file < exps[j].file
+		}
+		return exps[i].line < exps[j].line
+	})
+	return exps, nil
+}
+
+// splitPatterns extracts the quoted or backquoted regular expressions
+// from the text after the want keyword.
+func splitPatterns(text string) ([]string, error) {
+	var patterns []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			loc := quotedRe.FindStringIndex(rest)
+			if loc == nil || loc[0] != 0 {
+				return nil, fmt.Errorf("unterminated quoted pattern in %q", rest)
+			}
+			s, err := strconv.Unquote(rest[:loc[1]])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted pattern %q: %w", rest[:loc[1]], err)
+			}
+			patterns = append(patterns, s)
+			rest = strings.TrimSpace(rest[loc[1]:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern in %q", rest)
+			}
+			patterns = append(patterns, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		default:
+			return nil, fmt.Errorf("unexpected text %q after want patterns", rest)
+		}
+	}
+	return patterns, nil
+}

@@ -1,0 +1,268 @@
+// Package lint implements maxwelint, the repository's static-analysis
+// gate. It is built entirely on the standard library (go/ast, go/parser,
+// go/token, go/types) and enforces the invariants the reproduction
+// depends on:
+//
+//   - nondeterminism — simulation packages must not read wall-clock time,
+//     the process environment, or math/rand global state; all randomness
+//     flows through internal/xrand so every run is bit-for-bit
+//     reproducible (see DESIGN.md, "Determinism invariant").
+//   - floatcmp — floating-point values must not be compared with == / !=
+//     outside the approved tolerance helpers in internal/stats.
+//   - panicmsg — panic messages follow the "pkg: message" convention used
+//     across the internal packages.
+//   - exporteddoc — exported identifiers carry doc comments.
+//   - errdrop — error return values must be handled or explicitly
+//     discarded with "_ =".
+//
+// The Run driver loads packages with Loader, applies every enabled
+// Analyzer, and returns diagnostics formatted as
+// "file:line: [rule] message". cmd/maxwelint is the command-line front
+// end; RunGolden is the analysistest-style harness the rule tests use.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	// Pos locates the finding. Filename is relative to the module root
+	// when the package was loaded through Run.
+	Pos token.Position
+	// Rule names the analyzer that produced the finding.
+	Rule string
+	// Msg describes the finding.
+	Msg string
+}
+
+// String renders the diagnostic in the canonical
+// "file:line: [rule] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
+}
+
+// Analyzer is one named rule. Run inspects the package held by the Pass
+// and reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics, configuration and
+	// the command line ("nondeterminism", "floatcmp", ...).
+	Name string
+	// Doc is a one-paragraph description of what the rule enforces.
+	Doc string
+	// Run applies the rule to pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// All returns every registered analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Nondeterminism, Floatcmp, Panicmsg, Exporteddoc, Errdrop}
+}
+
+// ByName returns the analyzer registered under name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Config selects which rules run and where they are allowed to report.
+type Config struct {
+	// Enable lists rule names to run. Empty means every registered rule.
+	Enable []string
+	// Disable lists rule names to skip; it takes precedence over Enable.
+	Disable []string
+	// Exempt maps a rule name to slash-separated path prefixes (relative
+	// to the module root) whose files that rule must not report on. The
+	// pseudo-rule "*" exempts a prefix from every rule.
+	Exempt map[string][]string
+	// FloatcmpAllowZero permits == / != against an exact constant zero,
+	// the idiomatic division-by-zero guard.
+	FloatcmpAllowZero bool
+	// FloatcmpApproved lists tolerance helpers whose bodies may compare
+	// floats exactly. Entries are matched as suffixes of the fully
+	// qualified function name (for example
+	// "maxwe/internal/stats.ApproxEqual").
+	FloatcmpApproved []string
+	// ErrdropAllow lists fully qualified callee prefixes whose discarded
+	// error results are tolerated (for example "fmt.Print", which covers
+	// Print, Printf and Println).
+	ErrdropAllow []string
+}
+
+// DefaultConfig returns the repository policy: every rule enabled;
+// nondeterminism, panicmsg and exporteddoc exempt command-line front ends
+// and examples (they may read flags, print, and panic on internal bugs
+// however they like); zero-guards allowed; stats.ApproxEqual approved;
+// fmt printing and never-failing buffer writers allowed to drop errors.
+func DefaultConfig() *Config {
+	return &Config{
+		Exempt: map[string][]string{
+			"nondeterminism": {"cmd/", "examples/"},
+			"panicmsg":       {"cmd/", "examples/"},
+			"exporteddoc":    {"cmd/", "examples/"},
+		},
+		FloatcmpAllowZero: true,
+		FloatcmpApproved: []string{
+			"maxwe/internal/stats.ApproxEqual",
+			"maxwe/internal/stats.ApproxEqualRel",
+		},
+		ErrdropAllow: []string{
+			"fmt.Print",
+			"fmt.Fprint",
+			"(*strings.Builder).",
+			"(*bytes.Buffer).",
+		},
+	}
+}
+
+// Analyzers resolves the Enable/Disable selections against the registry.
+// Unknown names in either list produce an error so typos fail loudly.
+func (c *Config) Analyzers() ([]*Analyzer, error) {
+	disabled := make(map[string]bool, len(c.Disable))
+	for _, name := range c.Disable {
+		if ByName(name) == nil {
+			return nil, fmt.Errorf("lint: unknown rule %q in disable list", name)
+		}
+		disabled[name] = true
+	}
+	var selected []*Analyzer
+	if len(c.Enable) == 0 {
+		selected = All()
+	} else {
+		for _, name := range c.Enable {
+			a := ByName(name)
+			if a == nil {
+				return nil, fmt.Errorf("lint: unknown rule %q in enable list", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	out := selected[:0]
+	for _, a := range selected {
+		if !disabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// exempt reports whether rule must stay silent about relFile.
+func (c *Config) exempt(rule, relFile string) bool {
+	relFile = path.Clean(strings.ReplaceAll(relFile, "\\", "/"))
+	for _, key := range []string{rule, "*"} {
+		for _, prefix := range c.Exempt[key] {
+			if strings.HasPrefix(relFile, prefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	// Fset maps positions for every file of the package.
+	Fset *token.FileSet
+	// Pkg is the loaded package under analysis.
+	Pkg *Package
+	// Cfg is the active configuration (never nil).
+	Cfg *Config
+
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless the file is exempt from the
+// running rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	rel := p.Pkg.relFile(position.Filename)
+	if p.Cfg.exempt(p.rule, rel) {
+		return
+	}
+	position.Filename = rel
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  position,
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// inspectFiles walks every file of the pass's package with fn, the
+// shared traversal all rules use.
+func (p *Pass) inspectFiles(fn func(file *ast.File, n ast.Node) bool) {
+	for _, file := range p.Pkg.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool { return fn(f, n) })
+	}
+}
+
+// Run loads every package matched by patterns under the module root and
+// applies the analyzers selected by cfg, returning diagnostics sorted by
+// file, line and column. A nil cfg means DefaultConfig.
+func Run(root string, patterns []string, cfg *Config) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	analyzers, err := cfg.Analyzers()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadPackage(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		diags = append(diags, analyze(loader.Fset, pkg, cfg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// analyze applies every analyzer to one loaded package.
+func analyze(fset *token.FileSet, pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Fset: fset, Pkg: pkg, Cfg: cfg, rule: a.Name, diags: &diags}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// sortDiagnostics orders diagnostics by file, then line, column, rule.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

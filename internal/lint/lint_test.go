@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestGolden runs every rule against its golden package and requires the
+// diagnostics to line up with the // want expectations exactly — each
+// rule has positive and negative cases in its testdata file.
+func TestGolden(t *testing.T) {
+	root := moduleRoot(t)
+	cases := []struct {
+		dir      string
+		analyzer *Analyzer
+		cfg      func() *Config
+	}{
+		{"nondet", Nondeterminism, nil},
+		{"floatcmp", Floatcmp, func() *Config {
+			cfg := DefaultConfig()
+			cfg.FloatcmpApproved = append(cfg.FloatcmpApproved, "floatcmp.approxEqual")
+			return cfg
+		}},
+		{"panicmsg", Panicmsg, nil},
+		{"exporteddoc", Exporteddoc, nil},
+		{"errdrop", Errdrop, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			var cfg *Config
+			if tc.cfg != nil {
+				cfg = tc.cfg()
+			}
+			dir := filepath.Join("internal", "lint", "testdata", "src", tc.dir)
+			failures, err := RunGolden(root, dir, []*Analyzer{tc.analyzer}, cfg)
+			if err != nil {
+				t.Fatalf("RunGolden: %v", err)
+			}
+			for _, f := range failures {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}
+
+// TestGoldenDetectsMisses makes sure the harness itself fails loudly:
+// running the wrong analyzer over a golden package must produce both
+// "unexpected diagnostic" (none here) and "no diagnostic matched"
+// failures rather than a silent pass.
+func TestGoldenDetectsMisses(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join("internal", "lint", "testdata", "src", "floatcmp")
+	failures, err := RunGolden(root, dir, []*Analyzer{Errdrop}, nil)
+	if err != nil {
+		t.Fatalf("RunGolden: %v", err)
+	}
+	if len(failures) == 0 {
+		t.Fatal("expected unmatched-expectation failures, got none")
+	}
+	for _, f := range failures {
+		if !strings.Contains(f, "no diagnostic matched") {
+			t.Errorf("unexpected failure kind: %s", f)
+		}
+	}
+}
+
+// TestRunOnOwnPackage lints internal/lint with the full rule set; the
+// linter must hold itself to the repository policy.
+func TestRunOnOwnPackage(t *testing.T) {
+	root := moduleRoot(t)
+	diags, err := Run(root, []string{"internal/lint"}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("self-lint: %s", d)
+	}
+}
+
+// TestDiagnosticString pins the canonical output format the Makefile and
+// CI grep for.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "floatcmp", Msg: "bad comparison"}
+	d.Pos.Filename = "internal/stats/stats.go"
+	d.Pos.Line = 42
+	got := d.String()
+	want := "internal/stats/stats.go:42: [floatcmp] bad comparison"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestConfigAnalyzers covers enable/disable resolution and typo
+// detection.
+func TestConfigAnalyzers(t *testing.T) {
+	cfg := DefaultConfig()
+	all, err := cfg.Analyzers()
+	if err != nil {
+		t.Fatalf("Analyzers: %v", err)
+	}
+	if len(all) != len(All()) {
+		t.Errorf("default config selected %d rules, want %d", len(all), len(All()))
+	}
+
+	cfg.Enable = []string{"floatcmp", "errdrop"}
+	cfg.Disable = []string{"errdrop"}
+	selected, err := cfg.Analyzers()
+	if err != nil {
+		t.Fatalf("Analyzers: %v", err)
+	}
+	if len(selected) != 1 || selected[0].Name != "floatcmp" {
+		t.Errorf("enable/disable resolution wrong: got %d rules", len(selected))
+	}
+
+	cfg = DefaultConfig()
+	cfg.Enable = []string{"nosuchrule"}
+	if _, err := cfg.Analyzers(); err == nil {
+		t.Error("unknown rule in Enable did not error")
+	}
+	cfg = DefaultConfig()
+	cfg.Disable = []string{"nosuchrule"}
+	if _, err := cfg.Analyzers(); err == nil {
+		t.Error("unknown rule in Disable did not error")
+	}
+}
+
+// TestExempt covers per-rule and wildcard path exemptions.
+func TestExempt(t *testing.T) {
+	cfg := &Config{Exempt: map[string][]string{
+		"panicmsg": {"cmd/"},
+		"*":        {"gen/"},
+	}}
+	tests := []struct {
+		rule, file string
+		want       bool
+	}{
+		{"panicmsg", "cmd/figures/main.go", true},
+		{"panicmsg", "internal/sim/sim.go", false},
+		{"errdrop", "cmd/figures/main.go", false},
+		{"errdrop", "gen/gen.go", true},
+		{"panicmsg", "gen/gen.go", true},
+	}
+	for _, tc := range tests {
+		if got := cfg.exempt(tc.rule, tc.file); got != tc.want {
+			t.Errorf("exempt(%s, %s) = %v, want %v", tc.rule, tc.file, got, tc.want)
+		}
+	}
+}
+
+// TestExpandSkipsTestdata ensures ./... expansion never descends into
+// testdata (the golden packages must not be linted as part of the tree).
+func TestExpandSkipsTestdata(t *testing.T) {
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("Expand found no packages")
+	}
+	foundLint := false
+	for _, d := range dirs {
+		if strings.Contains(filepath.ToSlash(d), "testdata") {
+			t.Errorf("Expand descended into testdata: %s", d)
+		}
+		if filepath.ToSlash(d) == filepath.ToSlash(filepath.Join(root, "internal", "lint")) {
+			foundLint = true
+		}
+	}
+	if !foundLint {
+		t.Error("Expand missed internal/lint")
+	}
+}
+
+// TestSplitPatterns covers the want-marker pattern scanner.
+func TestSplitPatterns(t *testing.T) {
+	got, err := splitPatterns("\"a b\" `c\\d` \"e\\\"f\"")
+	if err != nil {
+		t.Fatalf("splitPatterns: %v", err)
+	}
+	want := []string{"a b", `c\d`, `e"f`}
+	if len(got) != len(want) {
+		t.Fatalf("got %d patterns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pattern %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := splitPatterns(`"unterminated`); err == nil {
+		t.Error("unterminated pattern did not error")
+	}
+	if _, err := splitPatterns(`"ok" junk`); err == nil {
+		t.Error("trailing junk did not error")
+	}
+}

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Dir is the package directory relative to the module root, using
+	// forward slashes ("internal/sim"; "." for the root package).
+	Dir string
+	// Name is the package name from the package clauses.
+	Name string
+	// Files holds the parsed non-test source files, sorted by filename.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type information rules consult. Type-check errors
+	// leave entries missing rather than aborting, so rules must tolerate
+	// nil types.
+	Info *types.Info
+	// TypeErrors collects any errors the type checker reported; a
+	// buildable tree produces none.
+	TypeErrors []error
+
+	root string
+}
+
+// relFile returns filename relative to the module root (slash-separated)
+// when possible, else the name unchanged.
+func (p *Package) relFile(filename string) string {
+	if p.root == "" {
+		return filename
+	}
+	rel, err := filepath.Rel(p.root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Loader parses and type-checks packages using only the standard
+// library. Module-local imports resolve against the module root and are
+// checked from source (function bodies skipped); standard-library imports
+// go through the compiler's export data via go/importer.
+type Loader struct {
+	// Fset maps positions for every file the loader parses.
+	Fset *token.FileSet
+
+	root    string
+	modpath string
+	std     types.Importer
+	cache   map[string]*types.Package
+}
+
+// NewLoader builds a loader for the Go module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving module root: %w", err)
+	}
+	modpath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		root:    abs,
+		modpath: modpath,
+		std:     importer.Default(),
+		cache:   make(map[string]*types.Package),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mod := strings.TrimSpace(rest)
+			mod = strings.Trim(mod, `"`)
+			if mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Import resolves an import path for the type checker. It implements
+// types.Importer so a Loader can be handed to types.Config directly.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[importPath]; ok {
+		return pkg, nil
+	}
+	if importPath == l.modpath || strings.HasPrefix(importPath, l.modpath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.modpath), "/")
+		if rel == "" {
+			rel = "."
+		}
+		dir := filepath.Join(l.root, filepath.FromSlash(rel))
+		pkg, _, err := l.check(importPath, dir, true)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[importPath] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.Import(importPath)
+	if err != nil {
+		return nil, fmt.Errorf("lint: importing %s: %w", importPath, err)
+	}
+	l.cache[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadPackage parses and fully type-checks the package in dir (absolute,
+// or relative to the module root). It returns nil, nil when the
+// directory holds no non-test Go files.
+func (l *Loader) LoadPackage(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.root, dir)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	name := files[0].Name.Name
+	for _, f := range files {
+		if f.Name.Name != name {
+			return nil, fmt.Errorf("lint: %s: multiple packages %s and %s", dir, name, f.Name.Name)
+		}
+	}
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		rel = dir
+	}
+	rel = filepath.ToSlash(rel)
+	importPath := l.modpath
+	if rel != "." {
+		importPath = l.modpath + "/" + rel
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrors []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrors = append(typeErrors, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	return &Package{
+		Dir:        rel,
+		Name:       name,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrors,
+		root:       l.root,
+	}, nil
+}
+
+// check parses dir and type-checks it as importPath. With ignoreBodies
+// set only declarations are checked, which is all importers need.
+func (l *Loader) check(importPath, dir string, ignoreBodies bool) (*types.Package, []*ast.File, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("lint: no Go files in %s for import %s", dir, importPath)
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: ignoreBodies,
+		Error:            func(error) {},
+	}
+	pkg, err := conf.Check(importPath, l.Fset, files, nil)
+	if pkg == nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return pkg, files, nil
+}
+
+// parseDir parses every non-test Go file in dir, in filename order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Expand resolves package patterns into package directories relative to
+// the module root. A pattern ending in "/..." matches the prefix
+// directory and everything below it; other patterns name one directory.
+// Directories named testdata or vendor, and hidden directories, are
+// skipped during recursive expansion.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pattern := range patterns {
+		pattern = filepath.ToSlash(pattern)
+		recursive := false
+		if strings.HasSuffix(pattern, "...") {
+			recursive = true
+			pattern = strings.TrimSuffix(pattern, "...")
+			pattern = strings.TrimSuffix(pattern, "/")
+			if pattern == "" || pattern == "." {
+				pattern = "."
+			}
+		}
+		base := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(pattern, "./")))
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+				continue
+			}
+			return nil, fmt.Errorf("lint: no Go files in %s", pattern)
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: expanding %s: %w", pattern, err)
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Nondeterminism enforces the reproducibility invariant: simulation code
+// must not import math/rand (use internal/xrand) and must not call the
+// wall clock or read the process environment. Every run of the simulator
+// must be a pure function of its explicit configuration and seed.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid math/rand imports and time.Now/os.Getenv-style calls in " +
+		"simulation packages; all randomness must flow through internal/xrand " +
+		"and all configuration through explicit values",
+	Run: runNondeterminism,
+}
+
+// bannedImports maps forbidden import paths to the reason they break
+// reproducibility.
+var bannedImports = map[string]string{
+	"math/rand":    "global PRNG state breaks bit-for-bit reproducibility; use internal/xrand",
+	"math/rand/v2": "global PRNG state breaks bit-for-bit reproducibility; use internal/xrand",
+}
+
+// bannedCalls maps fully qualified function names to the reason calling
+// them from simulation code is forbidden.
+var bannedCalls = map[string]string{
+	"time.Now":     "wall-clock reads make runs irreproducible; plumb times through explicitly",
+	"time.Since":   "wall-clock reads make runs irreproducible; plumb durations through explicitly",
+	"time.Until":   "wall-clock reads make runs irreproducible; plumb durations through explicitly",
+	"os.Getenv":    "environment reads hide configuration; plumb options through Config values",
+	"os.LookupEnv": "environment reads hide configuration; plumb options through Config values",
+	"os.Environ":   "environment reads hide configuration; plumb options through Config values",
+	"os.ExpandEnv": "environment reads hide configuration; plumb options through Config values",
+}
+
+func runNondeterminism(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if reason, ok := bannedImports[path]; ok {
+				p.Reportf(imp.Pos(), "import of %s: %s", path, reason)
+			}
+		}
+	}
+	p.inspectFiles(func(_ *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		if reason, ok := bannedCalls[fn.FullName()]; ok {
+			p.Reportf(call.Pos(), "call to %s: %s", fn.FullName(), reason)
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil when it cannot be determined (function values, builtins,
+// conversions).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Panicmsg enforces the repository's panic-message convention: every
+// panic that carries a message must prefix it with the package name,
+// "pkg: message" (see internal/ecp/ecp.go and
+// internal/salvage/salvage.go for the canonical form). The rule checks
+// string literals, "prefix" + expr concatenations, fmt.Sprintf /
+// fmt.Errorf with a literal format, and flags panic(err) with a bare
+// error value, which loses the prefix entirely.
+var Panicmsg = &Analyzer{
+	Name: "panicmsg",
+	Doc: `require panic messages to carry the "pkg: " prefix so a panic in a ` +
+		"deep simulation stack identifies the package that gave up",
+	Run: runPanicmsg,
+}
+
+func runPanicmsg(p *Pass) {
+	prefix := p.Pkg.Name + ": "
+	p.inspectFiles(func(_ *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, ok := p.Pkg.Info.Uses[id].(*types.Builtin); !ok {
+			return true
+		}
+		checkPanicArg(p, prefix, ast.Unparen(call.Args[0]))
+		return true
+	})
+}
+
+// checkPanicArg validates one panic argument against the required
+// "pkg: " prefix.
+func checkPanicArg(p *Pass, prefix string, arg ast.Expr) {
+	if msg, ok := literalPrefix(p, arg); ok {
+		if !strings.HasPrefix(msg, prefix) {
+			p.Reportf(arg.Pos(), "panic message %q does not start with %q", clip(msg), prefix)
+		}
+		return
+	}
+	if isErrorValue(p, arg) {
+		p.Reportf(arg.Pos(),
+			"panic with a bare error loses the %q prefix; wrap it: panic(fmt.Errorf(%q, err))",
+			prefix, prefix+"...: %v")
+	}
+}
+
+// literalPrefix extracts the statically known leading text of a panic
+// argument: a string literal, the left side of a "lit" + expr
+// concatenation, or the literal format of fmt.Sprintf / fmt.Errorf.
+func literalPrefix(p *Pass, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(e.Value); err == nil {
+			return s, true
+		}
+	case *ast.BinaryExpr:
+		return literalPrefix(p, e.X)
+	case *ast.CallExpr:
+		fn := calleeFunc(p, e)
+		if fn == nil || len(e.Args) == 0 {
+			return "", false
+		}
+		switch fn.FullName() {
+		case "fmt.Sprintf", "fmt.Errorf", "fmt.Sprint", "fmt.Sprintln":
+			return literalPrefix(p, e.Args[0])
+		}
+	}
+	return "", false
+}
+
+// isErrorValue reports whether e's type implements the error interface.
+func isErrorValue(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+// clip shortens long messages for diagnostics.
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

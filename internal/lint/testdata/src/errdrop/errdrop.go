@@ -1,0 +1,38 @@
+// Package errdrop exercises the errdrop rule: silently discarded error
+// results are flagged; handled errors, explicit "_ =" discards and
+// allowlisted callees are not.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bad discards errors in every statement form the rule catches.
+func Bad(f *os.File) {
+	os.Remove("scratch") // want `error result of os.Remove is discarded`
+	defer f.Close()      // want `error result of \(\*os.File\).Close is discarded`
+	go f.Sync()          // want `error result of \(\*os.File\).Sync is discarded`
+}
+
+// Good handles or visibly discards every error.
+func Good(f *os.File) error {
+	if err := os.Remove("scratch"); err != nil {
+		return err
+	}
+	_ = f.Close()
+	fmt.Println("done")
+	var sb strings.Builder
+	sb.WriteString("x")
+	return nil
+}
+
+// NoError calls functions without error results; nothing to flag.
+func NoError() {
+	var sb strings.Builder
+	sb.Reset()
+	helperNoErr()
+}
+
+func helperNoErr() {}

@@ -1,0 +1,44 @@
+// Package exporteddoc exercises the exporteddoc rule: exported
+// identifiers need leading doc comments; unexported ones and documented
+// groups do not.
+package exporteddoc
+
+// Documented is fine.
+const Documented = 1
+
+const Undocumented = 2 // want `exported const Undocumented is undocumented`
+
+// Widget is documented.
+type Widget struct{}
+
+type Gadget struct{} // want `exported type Gadget is undocumented`
+
+// Run is documented.
+func (Widget) Run() {}
+
+func (Widget) Stop() {} // want `exported method Stop is undocumented`
+
+func Exported() {} // want `exported function Exported is undocumented`
+
+var (
+	NoDoc int // want `exported var NoDoc is undocumented`
+
+	// WithDoc carries a spec-level doc comment.
+	WithDoc int
+)
+
+// Grouped declarations are covered by the group doc comment.
+var (
+	GroupA int
+	GroupB int
+)
+
+func helper() {}
+
+type secret struct{}
+
+// Exported methods on unexported receivers are unreachable via godoc
+// and are not flagged.
+func (secret) Visible() {}
+
+var _ = helper

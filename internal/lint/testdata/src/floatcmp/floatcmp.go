@@ -1,0 +1,49 @@
+// Package floatcmp exercises the floatcmp rule: exact float equality is
+// flagged, ordered comparisons, zero guards, integer equality and the
+// approved tolerance helper are not.
+package floatcmp
+
+// Equalish compares float64 values the wrong way.
+func Equalish(a, b float64) bool {
+	return a == b // want `floating-point == comparison; use stats.ApproxEqual`
+}
+
+// Different compares float32 values the wrong way.
+func Different(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// MixedConst compares against a non-zero constant, still wrong.
+func MixedConst(a float64) bool {
+	return a == 0.5 // want `floating-point == comparison`
+}
+
+// ZeroGuard is the idiomatic division guard and is allowed.
+func ZeroGuard(d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 1 / d
+}
+
+// Ordered comparisons are always fine.
+func Ordered(a, b float64) bool { return a < b || a > b }
+
+// Ints may use == freely.
+func Ints(a, b int) bool { return a == b }
+
+// approxEqual is the package's tolerance helper; the test approves it by
+// configuration, so its internal exact comparison is exempt.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// UsesHelper shows the approved path.
+func UsesHelper(a, b float64) bool { return approxEqual(a, b, 1e-12) }

@@ -1,0 +1,30 @@
+// Package nondet exercises the nondeterminism rule: banned imports and
+// banned calls are flagged, explicit plumbing is not.
+package nondet
+
+import (
+	"math/rand" // want `import of math/rand: global PRNG state breaks bit-for-bit reproducibility`
+	"os"
+	"time"
+)
+
+// Bad reads every nondeterministic source the rule bans.
+func Bad() int64 {
+	t := time.Now()                        // want `call to time.Now: wall-clock reads make runs irreproducible`
+	d := time.Since(t)                     // want `call to time.Since: wall-clock reads`
+	_ = os.Getenv("SEED")                  // want `call to os.Getenv: environment reads hide configuration`
+	if _, ok := os.LookupEnv("SEED"); ok { // want `call to os.LookupEnv: environment reads`
+		return 0
+	}
+	return int64(rand.Int()) + int64(d)
+}
+
+// Good threads time and configuration through explicitly: referencing
+// the time package for types, doing arithmetic on supplied values, and
+// deriving randomness from an explicit seed are all fine.
+func Good(now time.Time, seed uint64) uint64 {
+	seed += 0x9e3779b97f4a7c15
+	z := seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ uint64(now.Unix())
+}

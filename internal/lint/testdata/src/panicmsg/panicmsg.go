@@ -1,0 +1,44 @@
+// Package panicmsg exercises the panicmsg rule: messages must start
+// with "panicmsg: ", bare error panics are flagged, and conforming
+// literals, concatenations and fmt calls pass.
+package panicmsg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bad panics without the package prefix.
+func Bad(n int) {
+	if n < 0 {
+		panic("negative n") // want `panic message "negative n" does not start with "panicmsg: "`
+	}
+	if n > 10 {
+		panic(fmt.Sprintf("n too big: %d", n)) // want `does not start with "panicmsg: "`
+	}
+	if n == 3 {
+		panic(errors.New("boom")) // want `panic with a bare error loses the "panicmsg: " prefix`
+	}
+}
+
+// Good panics follow the convention in every supported shape.
+func Good(n int, err error) {
+	if n < 0 {
+		panic("panicmsg: negative n")
+	}
+	if n > 10 {
+		panic(fmt.Sprintf("panicmsg: n %d out of range", n))
+	}
+	if n == 3 {
+		panic(fmt.Errorf("panicmsg: wrapped: %w", err))
+	}
+	if n == 4 {
+		panic("panicmsg: " + err.Error())
+	}
+}
+
+// Opaque panics with a value the rule cannot see through; it stays
+// silent rather than guessing.
+func Opaque(v any) {
+	panic(v)
+}

@@ -150,7 +150,7 @@ func (t *Table) JSON() string {
 	out, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		// Maps of strings always marshal; this is unreachable.
-		panic(err)
+		panic(fmt.Errorf("report: marshaling rows: %w", err))
 	}
 	return string(out) + "\n"
 }

@@ -69,13 +69,26 @@ func NewNone(n int) *NoneScheme {
 	return &NoneScheme{lines: n}
 }
 
-func (s *NoneScheme) Name() string         { return "none" }
-func (s *NoneScheme) UserLines() int       { return s.lines }
-func (s *NoneScheme) Access(u int) int     { s.check(u); return u }
-func (s *NoneScheme) BaseLine(u int) int   { s.check(u); return u }
+// Name implements Scheme.
+func (s *NoneScheme) Name() string { return "none" }
+
+// UserLines implements Scheme.
+func (s *NoneScheme) UserLines() int { return s.lines }
+
+// Access implements Scheme.
+func (s *NoneScheme) Access(u int) int { s.check(u); return u }
+
+// BaseLine implements Scheme.
+func (s *NoneScheme) BaseLine(u int) int { s.check(u); return u }
+
+// OnWearOut implements Scheme.
 func (s *NoneScheme) OnWearOut(u int) bool { s.check(u); return false }
+
+// SpareLinesTotal implements Scheme.
 func (s *NoneScheme) SpareLinesTotal() int { return 0 }
-func (s *NoneScheme) SpareLinesUsed() int  { return 0 }
+
+// SpareLinesUsed implements Scheme.
+func (s *NoneScheme) SpareLinesUsed() int { return 0 }
 
 func (s *NoneScheme) check(u int) {
 	if u < 0 || u >= s.lines {
@@ -112,6 +125,7 @@ const (
 	PSBest
 )
 
+// String returns the policy name used in reports.
 func (p PSPolicy) String() string {
 	switch p {
 	case PSRandom:
@@ -178,11 +192,19 @@ func NewPS(p *endurance.Profile, spareLines int, policy PSPolicy, src *xrand.Sou
 	return s
 }
 
-func (s *PSScheme) Name() string       { return s.name }
-func (s *PSScheme) UserLines() int     { return len(s.slotLine) }
-func (s *PSScheme) Access(u int) int   { return s.slotLine[u] }
+// Name implements Scheme.
+func (s *PSScheme) Name() string { return s.name }
+
+// UserLines implements Scheme.
+func (s *PSScheme) UserLines() int { return len(s.slotLine) }
+
+// Access implements Scheme.
+func (s *PSScheme) Access(u int) int { return s.slotLine[u] }
+
+// BaseLine implements Scheme.
 func (s *PSScheme) BaseLine(u int) int { return s.baseLine[u] }
 
+// OnWearOut implements Scheme.
 func (s *PSScheme) OnWearOut(u int) bool {
 	if len(s.pool) == 0 {
 		return false
@@ -194,8 +216,11 @@ func (s *PSScheme) OnWearOut(u int) bool {
 	return true
 }
 
+// SpareLinesTotal implements Scheme.
 func (s *PSScheme) SpareLinesTotal() int { return s.total }
-func (s *PSScheme) SpareLinesUsed() int  { return s.allocated }
+
+// SpareLinesUsed implements Scheme.
+func (s *PSScheme) SpareLinesUsed() int { return s.allocated }
 
 // ---------------------------------------------------------------------------
 // Physical Capacity Degradation (PCD)
@@ -231,9 +256,16 @@ func NewPCD(n, minCapacity int) *PCDScheme {
 	return s
 }
 
-func (s *PCDScheme) Name() string       { return "pcd" }
-func (s *PCDScheme) UserLines() int     { return s.live }
-func (s *PCDScheme) Access(u int) int   { s.check(u); return s.slotLine[u] }
+// Name implements Scheme.
+func (s *PCDScheme) Name() string { return "pcd" }
+
+// UserLines implements Scheme.
+func (s *PCDScheme) UserLines() int { return s.live }
+
+// Access implements Scheme.
+func (s *PCDScheme) Access(u int) int { s.check(u); return s.slotLine[u] }
+
+// BaseLine implements Scheme.
 func (s *PCDScheme) BaseLine(u int) int { s.check(u); return s.baseLine[u] }
 
 func (s *PCDScheme) check(u int) {
@@ -242,6 +274,7 @@ func (s *PCDScheme) check(u int) {
 	}
 }
 
+// OnWearOut implements Scheme.
 func (s *PCDScheme) OnWearOut(u int) bool {
 	s.check(u)
 	if s.live-1 < s.minCapacity {
@@ -255,8 +288,11 @@ func (s *PCDScheme) OnWearOut(u int) bool {
 	return true
 }
 
+// SpareLinesTotal implements Scheme.
 func (s *PCDScheme) SpareLinesTotal() int { return len(s.slotLine) - s.minCapacity }
-func (s *PCDScheme) SpareLinesUsed() int  { return s.consumed }
+
+// SpareLinesUsed implements Scheme.
+func (s *PCDScheme) SpareLinesUsed() int { return s.consumed }
 
 // ---------------------------------------------------------------------------
 // Max-WE
@@ -440,8 +476,13 @@ func NewMaxWE(p *endurance.Profile, opts MaxWEOptions) *MaxWEScheme {
 	return s
 }
 
-func (s *MaxWEScheme) Name() string       { return "max-we" }
-func (s *MaxWEScheme) UserLines() int     { return len(s.slotBase) }
+// Name implements Scheme.
+func (s *MaxWEScheme) Name() string { return "max-we" }
+
+// UserLines implements Scheme.
+func (s *MaxWEScheme) UserLines() int { return len(s.slotBase) }
+
+// BaseLine implements Scheme.
 func (s *MaxWEScheme) BaseLine(u int) int { return s.slotBase[u] }
 
 // Access resolves slot u through the hybrid mapping tables, mirroring the
@@ -482,7 +523,10 @@ func (s *MaxWEScheme) allocDynamic(key int) bool {
 	return true
 }
 
+// SpareLinesTotal implements Scheme.
 func (s *MaxWEScheme) SpareLinesTotal() int { return s.total }
+
+// SpareLinesUsed implements Scheme.
 func (s *MaxWEScheme) SpareLinesUsed() int {
 	return s.used + s.hybrid.RMT.WornTags()
 }

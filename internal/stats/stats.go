@@ -87,6 +87,43 @@ func Percentile(xs []float64, p float64) float64 {
 	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 
+// ApproxEqual reports whether a and b differ by at most the absolute
+// tolerance tol. It is the approved way to compare floats for equality:
+// the floatcmp lint rule flags raw == / != between floating-point
+// expressions everywhere except inside these helpers. NaN is never
+// approximately equal to anything; equal infinities are equal. It
+// panics on a negative or NaN tolerance.
+func ApproxEqual(a, b, tol float64) bool {
+	if tol < 0 || math.IsNaN(tol) {
+		panic("stats: ApproxEqual needs a non-negative tolerance")
+	}
+	if a == b {
+		// Exact hits, including matching infinities.
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// ApproxEqualRel reports whether a and b are within relative tolerance
+// rel, scaled by the larger magnitude. For magnitudes at or below 1 the
+// comparison degrades to an absolute check against rel, so values near
+// zero do not demand impossible precision. It panics on a negative or
+// NaN tolerance.
+func ApproxEqualRel(a, b, rel float64) bool {
+	if rel < 0 || math.IsNaN(rel) {
+		panic("stats: ApproxEqualRel needs a non-negative tolerance")
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return diff <= rel
+	}
+	return diff <= rel*scale
+}
+
 // Normalize divides every value by denom. It panics if denom is zero.
 func Normalize(xs []float64, denom float64) []float64 {
 	if denom == 0 {

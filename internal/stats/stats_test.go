@@ -97,6 +97,107 @@ func TestNormalize(t *testing.T) {
 	}
 }
 
+// TestPercentileEdges pins the boundary behaviour the floatcmp-approved
+// comparisons rely on: exact endpoints at p=0/p=100, single-element
+// inputs for every p, and interpolation just inside the boundaries.
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{40, 10, 30, 20}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("Percentile(p=0) = %v, want the minimum 10", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("Percentile(p=100) = %v, want the maximum 40", got)
+	}
+	// Just inside the upper boundary: rank lands in the last interval and
+	// must interpolate, not clamp.
+	if got := Percentile(xs, 99); !ApproxEqual(got, 39.7, 1e-9) {
+		t.Fatalf("Percentile(p=99) = %v, want 39.7", got)
+	}
+	for _, p := range []float64{0, 37.5, 50, 100} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Fatalf("Percentile(single, p=%v) = %v, want 7", p, got)
+		}
+	}
+}
+
+// TestNormalizeZeroPanicMessage checks the panic path carries the
+// conventional "stats: " prefix the panicmsg rule enforces.
+func TestNormalizeZeroPanicMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Normalize by zero did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || msg != "stats: Normalize by zero" {
+			t.Fatalf("panic value = %v, want \"stats: Normalize by zero\"", r)
+		}
+	}()
+	Normalize([]float64{1, 2}, 0)
+}
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	tests := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+		{inf, inf, 0, true},
+		{inf, -inf, 1e9, false},
+		{nan, nan, 1e9, false},
+		{nan, 1, 1e9, false},
+	}
+	for _, tc := range tests {
+		if got := ApproxEqual(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestApproxEqualRel(t *testing.T) {
+	tests := []struct {
+		a, b, rel float64
+		want      bool
+	}{
+		{1e9, 1e9 + 1, 1e-6, true}, // scaled: diff 1 <= 1e3
+		{1e9, 1.1e9, 1e-6, false},  // scaled: diff 1e8 > 1e3
+		{1e-12, 2e-12, 1e-9, true}, // near zero: absolute fallback
+		{0.5, 0.5 + 1e-10, 1e-9, true},
+		{-2, 2, 1e-9, false},
+		{3, 3, 0, true},
+	}
+	for _, tc := range tests {
+		if got := ApproxEqualRel(tc.a, tc.b, tc.rel); got != tc.want {
+			t.Errorf("ApproxEqualRel(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.rel, got, tc.want)
+		}
+	}
+}
+
+// TestApproxEqualPanics: both helpers reject negative and NaN
+// tolerances.
+func TestApproxEqualPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ApproxEqual(1, 1, -1) },
+		func() { ApproxEqual(1, 1, math.NaN()) },
+		func() { ApproxEqualRel(1, 1, -1) },
+		func() { ApproxEqualRel(1, 1, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 // Property: GeoMean <= Mean (AM-GM inequality) for positive inputs.
 func TestAMGMProperty(t *testing.T) {
 	f := func(a, b, c uint16) bool {

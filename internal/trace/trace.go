@@ -22,6 +22,7 @@ const (
 	Write
 )
 
+// String returns "read" or "write".
 func (o Op) String() string {
 	if o == Read {
 		return "read"

@@ -71,12 +71,15 @@ func NewPartitioned(partitions, partSlots int, src *xrand.Source,
 	return p
 }
 
+// Name implements Leveler.
 func (p *Partitioned) Name() string {
 	return fmt.Sprintf("partitioned-%s", p.inner[0].Name())
 }
 
+// LogicalLines implements Leveler.
 func (p *Partitioned) LogicalLines() int { return p.logical }
 
+// Translate implements Leveler.
 func (p *Partitioned) Translate(lla int) int {
 	if lla < 0 || lla >= p.logical {
 		panic(fmt.Sprintf("wearlevel: logical line %d out of range [0,%d)", lla, p.logical))
@@ -86,6 +89,7 @@ func (p *Partitioned) Translate(lla int) int {
 	return part*p.partSlots + inner
 }
 
+// OnWrite implements Leveler.
 func (p *Partitioned) OnWrite(lla int, mov Mover) bool {
 	part := p.scatterPart[lla]
 	return p.inner[part].OnWrite(p.scatterInner[lla], &partitionMover{

@@ -59,7 +59,10 @@ func NewSecurityRefresh(n, psi int, src *xrand.Source) *SecurityRefresh {
 	return l
 }
 
-func (l *SecurityRefresh) Name() string      { return "security-refresh" }
+// Name implements Leveler.
+func (l *SecurityRefresh) Name() string { return "security-refresh" }
+
+// LogicalLines implements Leveler.
 func (l *SecurityRefresh) LogicalLines() int { return l.n }
 
 // Translate maps logical address a to its physical location under the
@@ -165,8 +168,10 @@ func NewTwoLevelSecurityRefresh(subRegions, subSize, outerPsi, innerPsi int, src
 	return l
 }
 
+// Name implements Leveler.
 func (l *TwoLevelSecurityRefresh) Name() string { return "tlsr-exact" }
 
+// LogicalLines implements Leveler.
 func (l *TwoLevelSecurityRefresh) LogicalLines() int {
 	return len(l.inner) * l.subSize
 }

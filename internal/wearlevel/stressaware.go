@@ -43,9 +43,13 @@ func NewStressAware(n, psi int) *StressAware {
 	return l
 }
 
-func (l *StressAware) Name() string      { return "stress-aware" }
+// Name implements Leveler.
+func (l *StressAware) Name() string { return "stress-aware" }
+
+// LogicalLines implements Leveler.
 func (l *StressAware) LogicalLines() int { return len(l.perm) }
 
+// Translate implements Leveler.
 func (l *StressAware) Translate(lla int) int {
 	if lla < 0 || lla >= len(l.perm) {
 		panic(fmt.Sprintf("wearlevel: logical line %d out of range [0,%d)", lla, len(l.perm)))
@@ -60,6 +64,7 @@ func (l *StressAware) Swaps() int64 { return l.swaps }
 // tests and wear visualization).
 func (l *StressAware) SlotWrites(slot int) int64 { return l.writes[slot] }
 
+// OnWrite implements Leveler.
 func (l *StressAware) OnWrite(lla int, mov Mover) bool {
 	l.writes[l.perm[lla]]++
 	l.since++

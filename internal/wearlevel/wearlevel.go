@@ -74,14 +74,21 @@ func NewIdentity(n int) *Identity {
 	return &Identity{n: n}
 }
 
-func (l *Identity) Name() string      { return "identity" }
+// Name implements Leveler.
+func (l *Identity) Name() string { return "identity" }
+
+// LogicalLines implements Leveler.
 func (l *Identity) LogicalLines() int { return l.n }
+
+// Translate implements Leveler.
 func (l *Identity) Translate(lla int) int {
 	if lla < 0 || lla >= l.n {
 		panic(fmt.Sprintf("wearlevel: logical line %d out of range [0,%d)", lla, l.n))
 	}
 	return lla
 }
+
+// OnWrite implements Leveler.
 func (l *Identity) OnWrite(int, Mover) bool { return true }
 
 // ---------------------------------------------------------------------------
@@ -111,7 +118,10 @@ func NewStartGap(n, psi int) *StartGap {
 	return &StartGap{n: n, psi: psi, gap: n - 1}
 }
 
-func (l *StartGap) Name() string      { return "start-gap" }
+// Name implements Leveler.
+func (l *StartGap) Name() string { return "start-gap" }
+
+// LogicalLines implements Leveler.
 func (l *StartGap) LogicalLines() int { return l.n - 1 }
 
 // Translate implements PA = (LA + Start) mod (N-1), incremented past the
@@ -133,6 +143,7 @@ func (l *StartGap) Gap() int { return l.gap }
 // Start returns the current start offset.
 func (l *StartGap) Start() int { return l.start }
 
+// OnWrite implements Leveler.
 func (l *StartGap) OnWrite(_ int, mov Mover) bool {
 	l.since++
 	if l.since < l.psi {
@@ -267,9 +278,13 @@ func NewWAWL(slots int, metrics []float64, psi int, src *xrand.Source) *SwapWL {
 	return newSwapWL("wawl", slots, metrics, psi, 0.5, 0.5, false, src)
 }
 
-func (l *SwapWL) Name() string      { return l.name }
+// Name implements Leveler.
+func (l *SwapWL) Name() string { return l.name }
+
+// LogicalLines implements Leveler.
 func (l *SwapWL) LogicalLines() int { return len(l.perm) }
 
+// Translate implements Leveler.
 func (l *SwapWL) Translate(lla int) int {
 	if lla < 0 || lla >= len(l.perm) {
 		panic(fmt.Sprintf("wearlevel: logical line %d out of range [0,%d)", lla, len(l.perm)))
@@ -303,6 +318,7 @@ func (l *SwapWL) pick() int {
 	return l.src.Intn(len(l.perm))
 }
 
+// OnWrite implements Leveler.
 func (l *SwapWL) OnWrite(lla int, mov Mover) bool {
 	l.credit[lla]--
 	if l.credit[lla] > 0 {
@@ -362,10 +378,19 @@ func NewTWL(slots int, metrics []float64, src *xrand.Source) *TWL {
 	for i := range order {
 		order[i] = i
 	}
-	// Insertion-free ordering: simple index sort by metric ascending.
+	// Insertion-free ordering: simple index sort by metric ascending,
+	// ties broken by slot id for determinism.
+	less := func(a, b int) bool {
+		if metrics[a] < metrics[b] {
+			return true
+		}
+		if metrics[b] < metrics[a] {
+			return false
+		}
+		return a < b
+	}
 	for i := 1; i < slots; i++ {
-		for j := i; j > 0 && (metrics[order[j]] < metrics[order[j-1]] ||
-			(metrics[order[j]] == metrics[order[j-1]] && order[j] < order[j-1])); j-- {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
@@ -385,7 +410,10 @@ func NewTWL(slots int, metrics []float64, src *xrand.Source) *TWL {
 	return l
 }
 
-func (l *TWL) Name() string      { return "twl" }
+// Name implements Leveler.
+func (l *TWL) Name() string { return "twl" }
+
+// LogicalLines implements Leveler.
 func (l *TWL) LogicalLines() int { return len(l.weak) }
 
 // Translate tosses the write between the bonded pair: the strong member
@@ -400,4 +428,5 @@ func (l *TWL) Translate(lla int) int {
 	return l.weak[lla]
 }
 
+// OnWrite implements Leveler.
 func (l *TWL) OnWrite(int, Mover) bool { return true }

@@ -342,7 +342,7 @@ func (s *System) RunLifetime() Result {
 	if err != nil {
 		// New validated everything sim.Run checks; reaching this is a
 		// bug in the facade, not a user error.
-		panic(err)
+		panic(fmt.Errorf("maxwe: sim rejected a validated config: %w", err))
 	}
 	return res
 }
@@ -361,7 +361,7 @@ func (s *System) RunLifetimeWithWear(buckets int) (Result, []int) {
 	})
 	if err != nil {
 		// New validated everything sim checks; reaching this is a bug.
-		panic(err)
+		panic(fmt.Errorf("maxwe: sim rejected a validated config: %w", err))
 	}
 	return res, dev.WearHistogram(buckets)
 }
@@ -378,7 +378,7 @@ func (s *System) Stepper() *Stepper {
 	})
 	if err != nil {
 		// New already validated this configuration.
-		panic(err)
+		panic(fmt.Errorf("maxwe: sim rejected a validated config: %w", err))
 	}
 	return &Stepper{st: st}
 }
