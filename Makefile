@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify
+.PHONY: build test race vet lint verify faults
 
 build:
 	$(GO) build ./...
@@ -17,5 +17,15 @@ vet:
 lint:
 	$(GO) run ./cmd/maxwelint ./...
 
+# faults smoke-tests the fault-injection layer and the resilient runner
+# under the race detector: the fault/runner/cell test surface plus a short
+# seeded fault sweep through the real CLI.
+faults:
+	$(GO) test -race -run 'Fault|Stepper|Interrupt|Checkpoint|Resume|Cancel|Retry|Scrub|Corrupt' \
+		./internal/sim/ ./internal/runner/ ./internal/faultinject/ \
+		./internal/experiments/ ./internal/mapping/ ./internal/spare/
+	$(GO) run -race ./cmd/nvmsim -regions 128 -lines-per-region 8 -endurance 300 \
+		-fault-transient 0.01 -fault-stuckat 0.0005 -fault-metadata 0.0005 -fault-seed 7
+
 # verify is the tier-1 gate: everything CI runs, one command.
-verify: build vet test race lint
+verify: build vet test race lint faults

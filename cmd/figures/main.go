@@ -3,18 +3,29 @@
 // text tables (or CSV with -csv). The committed reference output is
 // recorded in EXPERIMENTS.md.
 //
+// The sweep-shaped artifacts (Figures 7 and 8) run through the resilient
+// sweep supervisor: SIGINT/SIGTERM cancels the run cooperatively and the
+// partial rows computed so far are still printed, and -checkpoint makes
+// the sweeps resumable — a rerun with the same flags picks up exactly
+// where the interrupted run stopped, with bit-identical results.
+//
 // Usage:
 //
 //	figures            # everything (takes a minute or two on one core)
 //	figures -fig 6     # just Figure 6
 //	figures -fig 8 -csv
 //	figures -quick     # the fast benchmark scale instead of the full one
+//	figures -fig 8 -checkpoint /tmp/fig-ckpt   # resumable sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"maxwe/internal/analytic"
 	"maxwe/internal/attack"
@@ -23,6 +34,7 @@ import (
 	"maxwe/internal/experiments"
 	"maxwe/internal/mapping"
 	"maxwe/internal/report"
+	"maxwe/internal/runner"
 	"maxwe/internal/sim"
 	"maxwe/internal/spare"
 	"maxwe/internal/xrand"
@@ -37,10 +49,23 @@ var (
 	quickFlag = flag.Bool("quick", false, "use the small benchmark scale (faster, noisier)")
 	seedFlag  = flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 	outDir    = flag.String("o", "", "write each artifact to <dir>/<id>.txt instead of stdout")
+	ckptDir   = flag.String("checkpoint", "",
+		"checkpoint directory for the sweep artifacts (7, 8): completed cells persist there and reruns resume")
+	cellTimeout = flag.Duration("cell-timeout", 0,
+		"per-cell deadline for the sweep artifacts (0 = none)")
+	retriesFlag = flag.Int("retries", 0,
+		"additional deterministic attempts per failed sweep cell")
 )
+
+// runCtx is canceled on SIGINT/SIGTERM; the sweep artifacts poll it and
+// the all-artifacts loop stops between artifacts.
+var runCtx context.Context = context.Background()
 
 func main() {
 	flag.Parse()
+	var stop context.CancelFunc
+	runCtx, stop = signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	s := experiments.DefaultSetup()
 	if *quickFlag {
 		s.Regions = 256
@@ -77,6 +102,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+	}
 	invoke := func(id string, run func(experiments.Setup)) {
 		if *outDir == "" {
 			run(s)
@@ -104,6 +135,10 @@ func main() {
 		for _, k := range []string{"1", "2", "5", "6", "7", "8", "uaa", "overhead",
 			"vuln", "ablations", "ecp", "coverage", "tlsrcheck", "salvage", "zoo",
 			"profiles", "oracle", "guard"} {
+			if runCtx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "figures: interrupted, remaining artifacts skipped")
+				os.Exit(130)
+			}
 			invoke(k, runners[k])
 		}
 		return
@@ -189,9 +224,50 @@ func fig6(s experiments.Setup) {
 	emit(t)
 }
 
+// sweepConfig assembles the runner configuration for one sweep artifact.
+// The fingerprint couples the artifact id with the full Setup, so a
+// checkpoint from a different artifact, scale or seed is rejected.
+func sweepConfig(artifact string, s experiments.Setup) runner.Config {
+	cfg := runner.Config{
+		CellTimeout: *cellTimeout,
+		Retries:     *retriesFlag,
+		Progress: func(ev runner.Event) {
+			switch ev.Status {
+			case runner.StatusRetry, runner.StatusFailed:
+				fmt.Fprintf(os.Stderr, "figures: %s %s (attempt %d): %s\n",
+					ev.Key, ev.Status, ev.Attempt, ev.Err)
+			case runner.StatusCached:
+				fmt.Fprintf(os.Stderr, "figures: %s resumed from checkpoint\n", ev.Key)
+			}
+		},
+	}
+	if *ckptDir != "" {
+		cfg.CheckpointPath = filepath.Join(*ckptDir, artifact+".ckpt.json")
+		cfg.Fingerprint = artifact + "/" + s.Fingerprint()
+	}
+	return cfg
+}
+
+// runSweep drives one sweep artifact through the supervisor and reports
+// interruption and failures on stderr; the caller renders whatever cells
+// completed.
+func runSweep[T any](artifact string, s experiments.Setup, cells []runner.Cell[T]) map[string]T {
+	rep, err := runner.Run(runCtx, sweepConfig(artifact, s), cells)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	if rep.Interrupted {
+		fmt.Fprintf(os.Stderr, "figures: %s interrupted after %d/%d cells (partial table follows)\n",
+			artifact, len(rep.Results), len(cells))
+	}
+	return rep.Results
+}
+
 func fig7(s experiments.Setup) {
 	percents := []int{0, 20, 60, 80, 90, 100}
-	rows := experiments.Fig7(s, percents, experiments.WLNames())
+	results := runSweep("fig7", s, experiments.Fig7Cells(s, percents, experiments.WLNames()))
+	rows := experiments.Fig7FromResults(results, percents, experiments.WLNames())
 	t := report.NewTable("Figure 7 — normalized lifetime under BPA vs SWR percentage",
 		"wear leveling", "swr %", "normalized lifetime")
 	series := map[string][]float64{}
@@ -200,7 +276,7 @@ func fig7(s experiments.Setup) {
 		series[r.WL] = append(series[r.WL], r.Normalized)
 	}
 	emit(t)
-	if !*csvFlag && !*jsonFlag {
+	if !*csvFlag && !*jsonFlag && len(rows) == len(percents)*len(experiments.WLNames()) {
 		labels := make([]string, len(percents))
 		for i, p := range percents {
 			labels[i] = fmt.Sprintf("%d%%", p)
@@ -212,14 +288,17 @@ func fig7(s experiments.Setup) {
 }
 
 func fig8(s experiments.Setup) {
-	rows, gmeans := experiments.Fig8(s)
+	results := runSweep("fig8", s, experiments.Fig8Cells(s))
+	rows, gmeans := experiments.Fig8FromResults(results)
 	t := report.NewTable("Figure 8 — spare-scheme comparison under BPA",
 		"wear leveling", "scheme", "normalized lifetime")
 	for _, r := range rows {
 		t.AddRow(r.WL, r.Scheme, r.Normalized)
 	}
 	for _, scheme := range experiments.SchemeNames() {
-		t.AddRow("gmean", scheme, gmeans[scheme])
+		if g, ok := gmeans[scheme]; ok {
+			t.AddRow("gmean", scheme, g)
+		}
 	}
 	emit(t)
 }

@@ -2,18 +2,26 @@
 // spare-line scheme, one wear-leveling substrate, one attack. It prints
 // the normalized lifetime and the supporting counters.
 //
+// The run is cancelable: on SIGINT/SIGTERM the simulation stops at the
+// next poll point and the partial result is printed, so a long run
+// interrupted with Ctrl-C still reports the writes it served.
+//
 // Examples:
 //
 //	nvmsim                                  # Max-WE under UAA, paper defaults
 //	nvmsim -scheme none -attack uaa         # the unprotected 4% baseline
 //	nvmsim -scheme max-we -attack bpa -wl wawl
 //	nvmsim -scheme ps-worst -spare 0.2 -q 100
+//	nvmsim -fault-transient 0.01 -fault-stuckat 0.001   # inject faults
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"maxwe"
 	"maxwe/internal/perfmodel"
@@ -35,6 +43,11 @@ func main() {
 	flag.StringVar(&cfg.Attack, "attack", cfg.Attack, "attack: uaa|bpa|repeated|random|hotcold")
 	flag.Int64Var(&cfg.MaxUserWrites, "max-writes", cfg.MaxUserWrites, "truncate the run after this many user writes (0 = to failure)")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Float64Var(&cfg.Faults.TransientProb, "fault-transient", 0, "per-write probability of a transient write failure")
+	flag.Float64Var(&cfg.Faults.StuckAtProb, "fault-stuckat", 0, "per-write probability of a stuck-at line death")
+	flag.Float64Var(&cfg.Faults.MetadataProb, "fault-metadata", 0, "per-write probability of a metadata corruption")
+	flag.IntVar(&cfg.Faults.MaxTransientRetries, "fault-retries", 0, "max retries a transient fault demands (0 = default)")
+	flag.Uint64Var(&cfg.Faults.Seed, "fault-seed", 0, "fault plan seed (independent of -seed)")
 	wearBuckets := flag.Int("wear-buckets", 0, "print a wear histogram with this many buckets (0 = off)")
 	flag.Parse()
 
@@ -43,12 +56,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nvmsim:", err)
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the run cooperatively; the partial result is printed
+	// below. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	var res maxwe.Result
 	var wear []int
 	if *wearBuckets > 0 {
 		res, wear = sys.RunLifetimeWithWear(*wearBuckets)
 	} else {
-		res = sys.RunLifetime()
+		res = sys.RunLifetimeCtx(ctx)
 	}
 
 	fmt.Printf("device             : %d lines (%d regions x %d), mean endurance %.0f, q=%.0f\n",
@@ -59,9 +77,18 @@ func main() {
 	fmt.Printf("device writes      : %d (amplification %.3f)\n", res.DeviceWrites, res.WriteAmplification)
 	fmt.Printf("normalized lifetime: %.4f of ideal (%.0f writes)\n", res.NormalizedLifetime, sys.IdealLifetime())
 	fmt.Printf("worn lines         : %d, spares used: %d\n", res.WornLines, res.SparesUsed)
-	if res.Failed {
+	if res.Faults.Any() {
+		fmt.Printf("faults injected    : transient=%d (retries=%d, backoff=%d, escalated=%d) stuck-at=%d metadata=%d (repaired=%d)\n",
+			res.Faults.TransientFaults, res.Faults.Retries, res.Faults.BackoffUnits,
+			res.Faults.Escalations, res.Faults.StuckAtFaults,
+			res.Faults.MetadataFaults, res.Faults.MetadataRepairs)
+	}
+	switch {
+	case res.Interrupted:
+		fmt.Println("outcome            : interrupted (partial result)")
+	case res.Failed:
 		fmt.Println("outcome            : device failed (spares exhausted)")
-	} else {
+	default:
 		fmt.Println("outcome            : run truncated at -max-writes")
 	}
 	if res.Failed {

@@ -6,6 +6,9 @@
 // stack's logical space fold modulo its size. The trace is replayed in a
 // loop -loops times (0 = once).
 //
+// A long replay is cancelable: on SIGINT/SIGTERM the loop stops at the
+// next loop boundary and the wear accumulated so far is still reported.
+//
 // Examples:
 //
 //	tracegen -n 100000 > oltp.trace
@@ -14,9 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"maxwe"
 	"maxwe/internal/trace"
@@ -74,9 +80,19 @@ func main() {
 	}
 	st := sys.Stepper()
 
+	// Ctrl-C stops the replay at the next poll point; the partial wear
+	// report below still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	loopsDone := 0
-	for loop := 0; (*loops == 0 || loop < *loops) && !st.Failed(); loop++ {
-		for _, r := range records {
+	interrupted := false
+	for loop := 0; (*loops == 0 || loop < *loops) && !st.Failed() && !interrupted; loop++ {
+		for i, r := range records {
+			if i&4095 == 0 && ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			if r.Op != trace.Write {
 				continue
 			}
@@ -84,7 +100,9 @@ func main() {
 				break
 			}
 		}
-		loopsDone++
+		if !interrupted {
+			loopsDone++
+		}
 	}
 
 	res := st.Result()
@@ -97,9 +115,12 @@ func main() {
 	fmt.Printf("device writes      : %d (amplification %.3f)\n", res.DeviceWrites, res.WriteAmplification)
 	fmt.Printf("budget consumed    : %.2f%% of ideal lifetime\n", res.NormalizedLifetime*100)
 	fmt.Printf("worn lines         : %d, spares used: %d\n", res.WornLines, res.SparesUsed)
-	if res.Failed {
+	switch {
+	case interrupted:
+		fmt.Println("outcome            : interrupted (partial replay)")
+	case res.Failed:
 		fmt.Println("outcome            : device failed")
-	} else {
+	default:
 		fmt.Println("outcome            : device survived the replay")
 	}
 }

@@ -70,6 +70,21 @@ func (d *Device) Write(line int) (wornNow bool) {
 	return false
 }
 
+// ForceWear marks line worn immediately, regardless of how much of its
+// write budget remains — the stuck-at hard fault of the fault-injection
+// layer (internal/faultinject). No write is counted. It returns true when
+// this call performed the wear-out transition and false when the line was
+// already worn.
+func (d *Device) ForceWear(line int) bool {
+	d.check(line)
+	if d.worn[line] {
+		return false
+	}
+	d.worn[line] = true
+	d.wornCount++
+	return true
+}
+
 // Worn reports whether line has exhausted its budget.
 func (d *Device) Worn(line int) bool {
 	d.check(line)
@@ -80,6 +95,10 @@ func (d *Device) Worn(line int) bool {
 // (zero for worn lines).
 func (d *Device) Remaining(line int) int64 {
 	d.check(line)
+	if d.worn[line] {
+		// Covers force-worn lines, whose budget was killed, not spent.
+		return 0
+	}
 	r := d.profile.LineEndurance(line) - d.writes[line]
 	if r < 0 {
 		return 0

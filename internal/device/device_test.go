@@ -231,6 +231,45 @@ func TestVariedProfileWearOrder(t *testing.T) {
 	}
 }
 
+func TestForceWear(t *testing.T) {
+	d := New(endurance.Uniform(1, 4, 10))
+	if d.Write(0) {
+		t.Fatal("first write wore a 10-budget line")
+	}
+	if !d.ForceWear(0) {
+		t.Fatal("ForceWear on a healthy line did not transition")
+	}
+	if !d.Worn(0) {
+		t.Fatal("force-worn line not reported worn")
+	}
+	if d.WornCount() != 1 {
+		t.Fatalf("worn count = %d, want 1", d.WornCount())
+	}
+	if r := d.Remaining(0); r != 0 {
+		t.Fatalf("force-worn line has %d writes remaining, want 0", r)
+	}
+	// A second ForceWear is a no-op and must not double-count.
+	if d.ForceWear(0) {
+		t.Fatal("ForceWear transitioned an already-worn line")
+	}
+	if d.WornCount() != 1 {
+		t.Fatalf("worn count after double ForceWear = %d, want 1", d.WornCount())
+	}
+	// Writes to a force-worn line are counted but never transition.
+	before := d.TotalWrites()
+	if d.Write(0) {
+		t.Fatal("write to force-worn line reported a transition")
+	}
+	if d.TotalWrites() != before+1 {
+		t.Fatal("write to force-worn line not counted")
+	}
+	// ForceWear counts no write.
+	d.ForceWear(1)
+	if d.Writes(1) != 0 {
+		t.Fatal("ForceWear consumed a write")
+	}
+}
+
 func BenchmarkDeviceWrite(b *testing.B) {
 	d := New(endurance.Uniform(64, 64, 1<<40))
 	n := d.Lines()

@@ -1,0 +1,143 @@
+// cells.go decomposes the sweep-shaped experiments (Figures 7 and 8) into
+// internal/runner cells: one independent simulation per cell, each
+// cancelable through its context and addressable by a stable key. This is
+// what lets cmd/figures checkpoint long sweeps and resume them after an
+// interruption with bit-identical results — each cell re-derives its
+// profile and seeds from the Setup alone, so recomputing any subset
+// reproduces exactly what an uninterrupted run would have produced.
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/endurance"
+	"maxwe/internal/runner"
+	"maxwe/internal/sim"
+	"maxwe/internal/spare"
+	"maxwe/internal/stats"
+	"maxwe/internal/xrand"
+)
+
+// Fingerprint identifies the Setup for checkpoint validation: two Setups
+// produce the same fingerprint exactly when they produce the same
+// simulation inputs, so a checkpoint written under a different
+// configuration is rejected instead of silently reused.
+func (s Setup) Fingerprint() string {
+	return fmt.Sprintf("setup/r%d/l%d/e%g/p%d/q%g/psi%d/seed%d",
+		s.Regions, s.LinesPerRegion, s.MeanEndurance, s.ProfileKind,
+		s.VariationQ, s.Psi, s.Seed)
+}
+
+// runBPACtx is runBPA with cooperative cancellation: the simulation polls
+// ctx and an interrupted run surfaces as ctx's error, so the runner
+// leaves the cell incomplete instead of recording a truncated lifetime.
+func (s Setup) runBPACtx(ctx context.Context, p *endurance.Profile, sch spare.Scheme, wl string) (float64, error) {
+	lev := NewLeveler(wl, sch, p, s.Psi, xrand.New(s.Seed+2))
+	res, err := sim.Run(sim.Config{
+		Profile: p,
+		Scheme:  sch,
+		Leveler: lev,
+		Attack:  attack.DefaultBPA(xrand.New(s.Seed + 3)),
+		Done:    ctx.Done(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Interrupted {
+		return 0, ctx.Err()
+	}
+	return res.NormalizedLifetime, nil
+}
+
+// Fig7Cells decomposes Fig7 into one cell per (wear leveler, SWR percent)
+// combination, keyed "fig7/<wl>/<percent>". Running every cell and
+// assembling with Fig7FromResults reproduces Fig7's rows exactly.
+func Fig7Cells(s Setup, swrPercents []int, wls []string) []runner.Cell[Fig7Row] {
+	p := s.Profile()
+	var cells []runner.Cell[Fig7Row]
+	for _, wl := range wls {
+		for _, pct := range swrPercents {
+			if pct < 0 || pct > 100 {
+				panic(fmt.Sprintf("experiments: Fig7 SWR percent %d out of [0, 100]", pct))
+			}
+			cells = append(cells, runner.Cell[Fig7Row]{
+				Key: fmt.Sprintf("fig7/%s/%d", wl, pct),
+				Run: func(ctx context.Context) (Fig7Row, error) {
+					opts := spare.DefaultMaxWEOptions()
+					opts.SWRFraction = float64(pct) / 100
+					nl, err := s.runBPACtx(ctx, p, spare.NewMaxWE(p, opts), wl)
+					if err != nil {
+						return Fig7Row{}, err
+					}
+					return Fig7Row{WL: wl, SWRPercent: pct, Normalized: nl}, nil
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// Fig7FromResults assembles completed Fig7 cells back into Fig7's row
+// order (wear levelers outer, SWR percents inner). Cells missing from
+// results — failed or not yet computed — are skipped.
+func Fig7FromResults(results map[string]Fig7Row, swrPercents []int, wls []string) []Fig7Row {
+	var rows []Fig7Row
+	for _, wl := range wls {
+		for _, pct := range swrPercents {
+			if row, ok := results[fmt.Sprintf("fig7/%s/%d", wl, pct)]; ok {
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// Fig8Cells decomposes Fig8 into one cell per (wear leveler, spare
+// scheme) combination, keyed "fig8/<wl>/<scheme>". Running every cell and
+// assembling with Fig8FromResults reproduces Fig8's rows and geometric
+// means exactly.
+func Fig8Cells(s Setup) []runner.Cell[Fig8Row] {
+	p := s.Profile()
+	var cells []runner.Cell[Fig8Row]
+	for _, wl := range WLNames() {
+		for _, scheme := range SchemeNames() {
+			cells = append(cells, runner.Cell[Fig8Row]{
+				Key: fmt.Sprintf("fig8/%s/%s", wl, scheme),
+				Run: func(ctx context.Context) (Fig8Row, error) {
+					nl, err := s.runBPACtx(ctx, p, newScheme(scheme, p, s.Seed), wl)
+					if err != nil {
+						return Fig8Row{}, err
+					}
+					return Fig8Row{WL: wl, Scheme: scheme, Normalized: nl}, nil
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// Fig8FromResults assembles completed Fig8 cells back into Fig8's row
+// order and recomputes the per-scheme geometric means over the rows
+// present. Cells missing from results are skipped (their scheme's gmean
+// then covers fewer wear levelers).
+func Fig8FromResults(results map[string]Fig8Row) ([]Fig8Row, map[string]float64) {
+	var rows []Fig8Row
+	perScheme := map[string][]float64{}
+	for _, wl := range WLNames() {
+		for _, scheme := range SchemeNames() {
+			row, ok := results[fmt.Sprintf("fig8/%s/%s", wl, scheme)]
+			if !ok {
+				continue
+			}
+			rows = append(rows, row)
+			perScheme[scheme] = append(perScheme[scheme], row.Normalized)
+		}
+	}
+	gmeans := map[string]float64{}
+	for scheme, vals := range perScheme {
+		gmeans[scheme] = stats.GeoMean(vals)
+	}
+	return rows, gmeans
+}

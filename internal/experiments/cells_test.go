@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"maxwe/internal/runner"
+	"maxwe/internal/stats"
+)
+
+func fig8Sweep(t *testing.T, cfg runner.Config, s Setup) runner.Report[Fig8Row] {
+	t.Helper()
+	rep, err := runner.Run(context.Background(), cfg, Fig8Cells(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("failed cells: %+v", rep.Failed)
+	}
+	return rep
+}
+
+func TestFig8CellsMatchMonolithicFig8(t *testing.T) {
+	s := QuickSetup()
+	wantRows, wantGmeans := Fig8(s)
+
+	rep := fig8Sweep(t, runner.Config{}, s)
+	rows, gmeans := Fig8FromResults(rep.Results)
+	if !reflect.DeepEqual(wantRows, rows) {
+		t.Fatalf("cell rows diverge from Fig8:\nwant %+v\ngot  %+v", wantRows, rows)
+	}
+	for scheme, want := range wantGmeans {
+		if !stats.ApproxEqual(gmeans[scheme], want, 0) {
+			t.Fatalf("gmean[%s] = %v, want %v", scheme, gmeans[scheme], want)
+		}
+	}
+}
+
+func TestFig7CellsMatchMonolithicFig7(t *testing.T) {
+	s := QuickSetup()
+	pcts := []int{0, 90}
+	wls := []string{"tlsr", "bwl"}
+	want := Fig7(s, pcts, wls)
+
+	rep, err := runner.Run(context.Background(), runner.Config{}, Fig7Cells(s, pcts, wls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("failed cells: %+v", rep.Failed)
+	}
+	got := Fig7FromResults(rep.Results, pcts, wls)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("cell rows diverge from Fig7:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestFig8SweepResumesBitIdentical(t *testing.T) {
+	// Acceptance criterion: a sweep killed mid-flight and resumed from its
+	// checkpoint produces bit-identical results to an uninterrupted run.
+	s := QuickSetup()
+	ref := fig8Sweep(t, runner.Config{}, s)
+
+	cfg := runner.Config{
+		CheckpointPath: filepath.Join(t.TempDir(), "fig8.ckpt.json"),
+		Fingerprint:    s.Fingerprint(),
+	}
+	// Kill the sweep after the third completed cell.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	cfg.Progress = func(ev runner.Event) {
+		if ev.Status == runner.StatusDone {
+			if done++; done == 3 {
+				cancel()
+			}
+		}
+	}
+	rep1, err := runner.Run(ctx, cfg, Fig8Cells(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Interrupted {
+		t.Fatal("sweep survived cancellation")
+	}
+	if len(rep1.Results) >= len(ref.Results) {
+		t.Fatalf("interrupted sweep completed all %d cells", len(rep1.Results))
+	}
+
+	cfg.Progress = nil
+	rep2 := fig8Sweep(t, cfg, s)
+	if rep2.Resumed != len(rep1.Results) {
+		t.Fatalf("resumed %d cells, want %d", rep2.Resumed, len(rep1.Results))
+	}
+	if !reflect.DeepEqual(ref.Results, rep2.Results) {
+		t.Fatalf("resumed sweep diverged:\nref %+v\ngot %+v", ref.Results, rep2.Results)
+	}
+}
+
+func TestFingerprintDistinguishesSetups(t *testing.T) {
+	a, b := QuickSetup(), QuickSetup()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical setups fingerprint differently")
+	}
+	b.Seed++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different seeds share a fingerprint")
+	}
+	b = QuickSetup()
+	b.ProfileKind = ProfilePowerLaw
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different profile kinds share a fingerprint")
+	}
+}
+
+func TestCellCancellationLeavesNoTruncatedRows(t *testing.T) {
+	// A canceled cell must surface ctx.Err(), never a truncated lifetime.
+	s := QuickSetup()
+	cells := Fig8Cells(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := cells[0].Run(ctx)
+	if err == nil {
+		t.Fatal("canceled cell returned a result")
+	}
+}

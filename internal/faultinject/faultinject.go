@@ -1,0 +1,231 @@
+// Package faultinject provides the deterministic fault layer of the
+// lifetime simulator. The seed simulator models exactly one failure mode —
+// clean, deterministic wear-out when a line's write budget runs dry — but
+// real NVM misbehaves in richer ways, and an evaluation of spare-line
+// replacement should too (WoLFRaM and SoftWear both evaluate wear
+// management under perturbed, non-ideal fault models). The package defines
+// three injectable fault classes:
+//
+//   - transient write failures: a physical write succeeds only after k
+//     retries, each retry charging a real device write and a bounded
+//     backoff delay (RetryPolicy);
+//   - stuck-at faults: a line dies immediately, before its endurance
+//     budget is spent, feeding the spare scheme's replacement procedure
+//     early;
+//   - metadata faults: a mapping-table entry (Max-WE's RMT/LMT) is
+//     corrupted in place and must be detected by an integrity scrub and
+//     rebuilt from the journal copy.
+//
+// A Plan is a pure function of its Config (seed included): the same plan
+// applied to the same write stream injects the same faults on every
+// platform, preserving the repository's determinism invariant. All
+// randomness flows through internal/xrand.
+package faultinject
+
+import (
+	"fmt"
+
+	"maxwe/internal/xrand"
+)
+
+// Config parameterizes a fault plan. The zero value injects nothing and
+// is a strict no-op: a simulator run with a zero-config plan is
+// bit-identical to a run with no fault layer at all.
+type Config struct {
+	// Seed drives every fault decision. Plans with equal configs draw
+	// identical fault sequences.
+	Seed uint64
+	// TransientProb is the per-physical-write probability that the write
+	// fails transiently and must be retried.
+	TransientProb float64
+	// MaxTransientRetries bounds how many retries a transient failure can
+	// demand (the demand is drawn uniformly from [1, MaxTransientRetries]).
+	// Zero selects DefaultMaxTransientRetries when TransientProb > 0.
+	MaxTransientRetries int
+	// StuckAtProb is the per-physical-write probability that the target
+	// line fails hard (stuck-at) before its endurance budget is spent.
+	StuckAtProb float64
+	// MetadataProb is the per-physical-write probability that one mapping
+	// table entry is corrupted (schemes without corruptible metadata
+	// ignore the event).
+	MetadataProb float64
+}
+
+// DefaultMaxTransientRetries is the retry demand bound used when
+// Config.MaxTransientRetries is left zero.
+const DefaultMaxTransientRetries = 4
+
+// Enabled reports whether the config injects any faults at all.
+func (c Config) Enabled() bool {
+	return c.TransientProb > 0 || c.StuckAtProb > 0 || c.MetadataProb > 0
+}
+
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"TransientProb", c.TransientProb},
+		{"StuckAtProb", c.StuckAtProb},
+		{"MetadataProb", c.MetadataProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faultinject: %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.MaxTransientRetries < 0 {
+		return fmt.Errorf("faultinject: MaxTransientRetries %d must be >= 0", c.MaxTransientRetries)
+	}
+	return nil
+}
+
+// WriteFault is the fault outcome drawn for one physical write. The zero
+// value is a clean write.
+type WriteFault struct {
+	// TransientRetries is how many retries this write demands before it
+	// succeeds (0 = first attempt succeeds).
+	TransientRetries int
+	// StuckAt kills the target line immediately.
+	StuckAt bool
+	// Metadata corrupts one mapping-table entry.
+	Metadata bool
+}
+
+// Clean reports whether the draw injects nothing.
+func (f WriteFault) Clean() bool {
+	return f.TransientRetries == 0 && !f.StuckAt && !f.Metadata
+}
+
+// Plan is a seeded fault schedule. Construct with NewPlan; a Plan is
+// consumed by one simulation run (its stream advances with every draw).
+type Plan struct {
+	cfg Config
+	src *xrand.Source
+}
+
+// NewPlan validates cfg and builds a plan. A disabled (zero-probability)
+// config is legal and yields a plan whose Enabled method returns false.
+func NewPlan(cfg Config) (*Plan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TransientProb > 0 && cfg.MaxTransientRetries == 0 {
+		cfg.MaxTransientRetries = DefaultMaxTransientRetries
+	}
+	return &Plan{cfg: cfg, src: xrand.New(cfg.Seed)}, nil
+}
+
+// Enabled reports whether the plan can inject any fault.
+func (p *Plan) Enabled() bool { return p != nil && p.cfg.Enabled() }
+
+// Config returns the (normalized) configuration the plan was built from.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Src exposes the plan's randomness source for fault payloads that need
+// extra draws (picking which metadata entry to corrupt). Consuming it
+// outside the simulator's fault path breaks replay determinism.
+func (p *Plan) Src() *xrand.Source { return p.src }
+
+// Draw returns the fault outcome for the next physical write. Draws are
+// made in write order, so a fixed write stream sees a fixed fault stream.
+func (p *Plan) Draw() WriteFault {
+	var f WriteFault
+	if p.cfg.TransientProb > 0 && p.src.Float64() < p.cfg.TransientProb {
+		f.TransientRetries = 1 + p.src.Intn(p.cfg.MaxTransientRetries)
+	}
+	if p.cfg.StuckAtProb > 0 && p.src.Float64() < p.cfg.StuckAtProb {
+		f.StuckAt = true
+	}
+	if p.cfg.MetadataProb > 0 && p.src.Float64() < p.cfg.MetadataProb {
+		f.Metadata = true
+	}
+	return f
+}
+
+// RetryPolicy bounds the engine's response to transient write failures:
+// at most MaxRetries re-issues per write, each retry charging an
+// exponentially growing but capped backoff delay. A write still failing
+// after MaxRetries is escalated to a permanent line failure.
+type RetryPolicy struct {
+	// MaxRetries is the per-write retry budget (must be >= 1).
+	MaxRetries int
+	// BackoffBase is the delay charged for the first retry, in device
+	// write-slot units (>= 0).
+	BackoffBase int64
+	// BackoffCap bounds the per-retry delay: retry i charges
+	// min(BackoffBase << i, BackoffCap).
+	BackoffCap int64
+}
+
+// DefaultRetryPolicy retries four times with 1-2-4-8 unit backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, BackoffBase: 1, BackoffCap: 8}
+}
+
+// Validate checks the policy bounds.
+func (p RetryPolicy) Validate() error {
+	if p.MaxRetries < 1 {
+		return fmt.Errorf("faultinject: RetryPolicy.MaxRetries %d must be >= 1", p.MaxRetries)
+	}
+	if p.BackoffBase < 0 || p.BackoffCap < 0 {
+		return fmt.Errorf("faultinject: RetryPolicy backoff (%d, %d) must be >= 0",
+			p.BackoffBase, p.BackoffCap)
+	}
+	return nil
+}
+
+// Backoff returns the delay charged for retry attempt i (0-based):
+// min(BackoffBase << i, BackoffCap).
+func (p RetryPolicy) Backoff(attempt int) int64 {
+	if attempt < 0 {
+		panic("faultinject: Backoff with negative attempt")
+	}
+	if p.BackoffBase == 0 {
+		return 0
+	}
+	// Shifting past 62 bits would overflow; the cap applies long before.
+	if attempt > 62 {
+		return p.BackoffCap
+	}
+	d := p.BackoffBase << uint(attempt)
+	if d > p.BackoffCap || d < p.BackoffBase {
+		return p.BackoffCap
+	}
+	return d
+}
+
+// Counters aggregates injected faults per class over one run. The zero
+// value (no faults) keeps sim.Result bit-identical to the pre-fault
+// engine.
+type Counters struct {
+	// TransientFaults counts writes that needed at least one retry.
+	TransientFaults int64
+	// Retries counts individual retry attempts across all writes.
+	Retries int64
+	// BackoffUnits is the total retry delay charged, in write-slot units.
+	BackoffUnits int64
+	// Escalations counts transient failures that exhausted the retry
+	// budget and were promoted to permanent line failures.
+	Escalations int64
+	// StuckAtFaults counts lines killed before their budget was spent.
+	StuckAtFaults int64
+	// MetadataFaults counts corrupted mapping-table entries injected.
+	MetadataFaults int64
+	// MetadataRepairs counts entries the integrity scrub detected and
+	// rebuilt from the journal.
+	MetadataRepairs int64
+}
+
+// Any reports whether any fault was injected.
+func (c Counters) Any() bool { return c != (Counters{}) }
+
+// Add accumulates other into c (for aggregating sweep cells).
+func (c *Counters) Add(other Counters) {
+	c.TransientFaults += other.TransientFaults
+	c.Retries += other.Retries
+	c.BackoffUnits += other.BackoffUnits
+	c.Escalations += other.Escalations
+	c.StuckAtFaults += other.StuckAtFaults
+	c.MetadataFaults += other.MetadataFaults
+	c.MetadataRepairs += other.MetadataRepairs
+}

@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+func TestZeroConfigIsDisabled(t *testing.T) {
+	p, err := NewPlan(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Fatal("nil plan reports enabled")
+	}
+	// A disabled plan must still draw cleanly (and draw nothing).
+	for i := 0; i < 100; i++ {
+		if f := p.Draw(); !f.Clean() {
+			t.Fatalf("disabled plan drew fault %+v", f)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TransientProb: -0.1},
+		{TransientProb: 1.1},
+		{StuckAtProb: 2},
+		{MetadataProb: -1},
+		{TransientProb: 0.5, MaxTransientRetries: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPlan(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, TransientProb: 0.3, StuckAtProb: 0.05, MetadataProb: 0.02}
+	a, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for i := 0; i < 10_000; i++ {
+		fa, fb := a.Draw(), b.Draw()
+		if fa != fb {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, fa, fb)
+		}
+		if !fa.Clean() {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("10k draws at 30% transient probability injected nothing")
+	}
+}
+
+func TestDrawRespectsRetryBound(t *testing.T) {
+	cfg := Config{Seed: 7, TransientProb: 1, MaxTransientRetries: 3}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		f := p.Draw()
+		if f.TransientRetries < 1 || f.TransientRetries > 3 {
+			t.Fatalf("draw %d demanded %d retries, want [1, 3]", i, f.TransientRetries)
+		}
+	}
+}
+
+func TestDefaultRetriesApplied(t *testing.T) {
+	p, err := NewPlan(Config{TransientProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Config().MaxTransientRetries; got != DefaultMaxTransientRetries {
+		t.Fatalf("normalized MaxTransientRetries = %d, want %d", got, DefaultMaxTransientRetries)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	pol := RetryPolicy{MaxRetries: 4, BackoffBase: 1, BackoffCap: 8}
+	want := []int64{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := pol.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := (RetryPolicy{MaxRetries: 1}).Backoff(5); got != 0 {
+		t.Errorf("zero-base backoff = %d, want 0", got)
+	}
+	// Far past the shift width the cap must still hold (no overflow).
+	if got := pol.Backoff(100); got != 8 {
+		t.Errorf("Backoff(100) = %d, want cap 8", got)
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	bad := []RetryPolicy{
+		{MaxRetries: 0},
+		{MaxRetries: 1, BackoffBase: -1},
+		{MaxRetries: 1, BackoffCap: -1},
+	}
+	for i, pol := range bad {
+		if err := pol.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted: %+v", i, pol)
+		}
+	}
+	if err := DefaultRetryPolicy().Validate(); err != nil {
+		t.Errorf("default policy rejected: %v", err)
+	}
+}
+
+func TestCountersAnyAndAdd(t *testing.T) {
+	var c Counters
+	if c.Any() {
+		t.Fatal("zero counters report Any")
+	}
+	c.Add(Counters{TransientFaults: 2, Retries: 5, BackoffUnits: 7,
+		Escalations: 1, StuckAtFaults: 3, MetadataFaults: 4, MetadataRepairs: 4})
+	c.Add(Counters{Retries: 1})
+	if !c.Any() {
+		t.Fatal("nonzero counters report !Any")
+	}
+	want := Counters{TransientFaults: 2, Retries: 6, BackoffUnits: 7,
+		Escalations: 1, StuckAtFaults: 3, MetadataFaults: 4, MetadataRepairs: 4}
+	if c != want {
+		t.Fatalf("accumulated %+v, want %+v", c, want)
+	}
+}

@@ -1,0 +1,132 @@
+package guarded
+
+import (
+	"testing"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/detect"
+	"maxwe/internal/stats"
+	"maxwe/internal/xrand"
+)
+
+// window is the default monitor window size (detect.Config zero value).
+const window = 1024
+
+// driveUAA feeds n sequential writes (the UAA pattern).
+func driveUAA(t *testing.T, g *Stack, n int) {
+	t.Helper()
+	a := attack.NewUAA()
+	for i := 0; i < n; i++ {
+		if !g.Write(a.Next(g.LogicalLines())) {
+			t.Fatal("device failed during the attack phase")
+		}
+	}
+}
+
+// driveBenign feeds n uniform-random writes (never flagged).
+func driveBenign(t *testing.T, g *Stack, n int, src *xrand.Source) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if !g.Write(src.Intn(g.LogicalLines())) {
+			t.Fatal("device failed during the benign phase")
+		}
+	}
+}
+
+func TestZeroRecoveryWindowsNeverRecovers(t *testing.T) {
+	g, err := New(newStepper(t), detect.Config{},
+		Policy{NormalRate: 1e6, ThrottledRate: 1e4, RecoveryWindows: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveUAA(t, g, 3*window)
+	if !g.Throttled() {
+		t.Fatal("UAA not detected after 3 windows")
+	}
+	// However much benign traffic follows, RecoveryWindows: 0 keeps the
+	// throttle engaged forever.
+	driveBenign(t, g, 32*window, xrand.New(7))
+	if !g.Throttled() {
+		t.Fatal("RecoveryWindows: 0 recovered from throttling")
+	}
+}
+
+func TestThrottleReentersAfterRecovery(t *testing.T) {
+	g, err := New(newStepper(t), detect.Config{},
+		Policy{NormalRate: 1e6, ThrottledRate: 1e4, RecoveryWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveUAA(t, g, 3*window)
+	if !g.Throttled() {
+		t.Fatal("UAA not detected after 3 windows")
+	}
+	firstDetection := g.DetectedAt()
+	if firstDetection < 0 {
+		t.Fatal("detection time not recorded")
+	}
+
+	// Enough clean windows lift the throttle (the first window after the
+	// phase switch is mixed and may still be flagged, hence the slack).
+	driveBenign(t, g, 5*window, xrand.New(7))
+	if g.Throttled() {
+		t.Fatal("throttle not lifted after clean windows")
+	}
+
+	// The attacker returns: the throttle must re-engage, and the recorded
+	// detection time must remain the FIRST detection.
+	driveUAA(t, g, 3*window)
+	if !g.Throttled() {
+		t.Fatal("throttle did not re-engage on renewed attack")
+	}
+	if !stats.ApproxEqual(g.DetectedAt(), firstDetection, 0) {
+		t.Fatalf("re-detection overwrote first detection time: %v -> %v",
+			firstDetection, g.DetectedAt())
+	}
+}
+
+func TestSecondsMatchShadowAccounting(t *testing.T) {
+	// Cross-check the stack's wall-clock accounting against an external
+	// tally: every admitted write costs 1/rate at the admission rate in
+	// force when it entered.
+	pol := Policy{NormalRate: 1e6, ThrottledRate: 2e4, RecoveryWindows: 2}
+	g, err := New(newStepper(t), detect.Config{}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var expect float64
+	write := func(lla int) bool {
+		rate := pol.NormalRate
+		if g.Throttled() {
+			rate = pol.ThrottledRate
+		}
+		expect += 1 / rate
+		return g.Write(lla)
+	}
+
+	// Attack, recover, re-attack, then run to failure — the accounting
+	// must hold across every throttle transition.
+	a := attack.NewUAA()
+	for i := 0; i < 3*window; i++ {
+		if !write(a.Next(g.LogicalLines())) {
+			t.Fatal("device failed early")
+		}
+	}
+	src := xrand.New(9)
+	for i := 0; i < 5*window; i++ {
+		if !write(src.Intn(g.LogicalLines())) {
+			t.Fatal("device failed early")
+		}
+	}
+	for write(a.Next(g.LogicalLines())) {
+	}
+
+	if !stats.ApproxEqualRel(g.Seconds(), expect, 1e-9) {
+		t.Fatalf("stack reports %.9g simulated seconds, shadow accounting %.9g",
+			g.Seconds(), expect)
+	}
+	if res := g.Result(); !res.Failed {
+		t.Fatalf("run ended without device failure: %+v", res)
+	}
+}

@@ -106,7 +106,12 @@ type Config struct {
 func DefaultConfig() *Config {
 	return &Config{
 		Exempt: map[string][]string{
-			"nondeterminism": {"cmd/", "examples/"},
+			// internal/runner is the experiment supervisor, not a
+			// simulation package: wall-clock cell deadlines and
+			// checkpoint file I/O are its job. internal/faultinject is
+			// deliberately NOT exempt — fault plans must stay
+			// deterministic like every other simulation input.
+			"nondeterminism": {"cmd/", "examples/", "internal/runner/"},
 			"panicmsg":       {"cmd/", "examples/"},
 			"exporteddoc":    {"cmd/", "examples/"},
 		},

@@ -1,0 +1,138 @@
+// integrity.go adds metadata-fault tolerance to the mapping tables. The
+// RMT and LMT are the scheme's only mutable state; a soft error in either
+// silently redirects traffic to the wrong physical line. Real controllers
+// protect such tables with an integrity code plus a persistent journal
+// copy, and that is what this file models:
+//
+//   - every table entry carries a checksum (xrand.Hash64 fold) computed
+//     at mutation time;
+//   - every mutation is mirrored into a journal copy (the NVM-backed
+//     redundant table);
+//   - Corrupt flips state in one randomly chosen primary entry without
+//     touching its checksum or journal — the injected metadata fault;
+//   - Scrub walks the primary entries, detects checksum mismatches and
+//     rebuilds the damaged entries from the journal.
+//
+// Between a Corrupt and the next Scrub, Translate may return arbitrary
+// (even out-of-device) lines; the simulator scrubs in the same write that
+// injected the fault, modeling a scrub-on-access controller.
+package mapping
+
+import (
+	"sort"
+
+	"maxwe/internal/xrand"
+)
+
+// regionSum folds one RMT entry into its integrity checksum.
+func regionSum(pra int, e *regionEntry) uint64 {
+	h := xrand.Hash64(uint64(uint(pra))<<32 ^ uint64(uint(e.sra)))
+	for i, w := range e.wot {
+		if w {
+			h ^= xrand.Hash64(uint64(i) + 1)
+		}
+	}
+	return h
+}
+
+// lineSum folds one LMT entry into its integrity checksum.
+func lineSum(pla, spare int) uint64 {
+	return xrand.Hash64(uint64(uint(pla))<<32 ^ uint64(uint(spare)))
+}
+
+// sortedKeys returns the keys of m in ascending order, for deterministic
+// corruption-target selection.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Corrupt flips state in one randomly chosen RMT entry — either its spare
+// region id or one wear-out tag — without updating the checksum or the
+// journal, simulating a soft error in the table SRAM. It returns false
+// when the table has no entries to corrupt.
+func (t *RegionTable) Corrupt(src *xrand.Source) bool {
+	if len(t.entries) == 0 {
+		return false
+	}
+	keys := sortedKeys(t.entries)
+	e := t.entries[keys[src.Intn(len(keys))]]
+	field := src.Intn(len(e.wot) + 1)
+	if field == len(e.wot) {
+		e.sra ^= 1 + src.Intn(1<<10)
+	} else {
+		e.wot[field] = !e.wot[field]
+	}
+	return true
+}
+
+// Scrub verifies every RMT entry against its checksum and rebuilds
+// corrupted entries from the journal copy. It returns how many entries
+// were repaired.
+func (t *RegionTable) Scrub() (repaired int) {
+	for pra, e := range t.entries {
+		if regionSum(pra, e) == t.sum[pra] {
+			continue
+		}
+		j := t.journal[pra]
+		t.entries[pra] = &regionEntry{sra: j.sra, wot: append([]bool(nil), j.wot...)}
+		repaired++
+	}
+	return repaired
+}
+
+// Corrupt perturbs the spare target of one randomly chosen LMT entry
+// without updating its checksum or journal. It returns false when the
+// table is empty.
+func (t *LineTable) Corrupt(src *xrand.Source) bool {
+	if len(t.m) == 0 {
+		return false
+	}
+	keys := sortedKeys(t.m)
+	pla := keys[src.Intn(len(keys))]
+	t.m[pla] ^= 1 + src.Intn(1<<10)
+	return true
+}
+
+// Scrub verifies every LMT entry against its checksum and restores
+// corrupted entries from the journal. It returns how many entries were
+// repaired.
+func (t *LineTable) Scrub() (repaired int) {
+	for pla, spare := range t.m {
+		if lineSum(pla, spare) == t.sum[pla] {
+			continue
+		}
+		t.m[pla] = t.journal[pla]
+		repaired++
+	}
+	return repaired
+}
+
+// Corrupt injects one metadata fault into the hybrid tables, choosing a
+// non-empty table at random (LMT and RMT equally likely when both hold
+// entries). It returns false when there is no metadata to corrupt.
+func (h *Hybrid) Corrupt(src *xrand.Source) bool {
+	lmt, rmt := h.LMT.Len() > 0, h.RMT.Len() > 0
+	switch {
+	case lmt && rmt:
+		if src.Intn(2) == 0 {
+			return h.LMT.Corrupt(src)
+		}
+		return h.RMT.Corrupt(src)
+	case lmt:
+		return h.LMT.Corrupt(src)
+	case rmt:
+		return h.RMT.Corrupt(src)
+	}
+	return false
+}
+
+// Scrub runs the integrity scrub over both tables and returns the total
+// number of entries detected as corrupted and rebuilt.
+func (h *Hybrid) Scrub() int {
+	return h.LMT.Scrub() + h.RMT.Scrub()
+}

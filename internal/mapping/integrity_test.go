@@ -1,0 +1,133 @@
+package mapping
+
+import (
+	"testing"
+
+	"maxwe/internal/xrand"
+)
+
+func TestScrubCleanTablesFindsNothing(t *testing.T) {
+	h := NewHybrid(4)
+	h.RMT.AddPair(0, 2)
+	h.RMT.AddPair(1, 3)
+	h.RMT.MarkWorn(1) // pra 0, offset 1
+	h.LMT.Add(5, 9)
+	h.LMT.Add(6, 10)
+	if n := h.Scrub(); n != 0 {
+		t.Fatalf("scrub of clean tables repaired %d entries", n)
+	}
+}
+
+func TestCorruptEmptyTablesReturnsFalse(t *testing.T) {
+	h := NewHybrid(4)
+	if h.Corrupt(xrand.New(1)) {
+		t.Fatal("corrupted an empty hybrid")
+	}
+	if h.LMT.Corrupt(xrand.New(1)) || h.RMT.Corrupt(xrand.New(1)) {
+		t.Fatal("corrupted an empty table")
+	}
+}
+
+func TestLineTableCorruptDetectRebuild(t *testing.T) {
+	lmt := NewLineTable()
+	lmt.Add(5, 9)
+	lmt.Add(7, 11)
+	src := xrand.New(42)
+	if !lmt.Corrupt(src) {
+		t.Fatal("corruption failed on a populated table")
+	}
+	// Exactly one entry now disagrees with its journal copy.
+	bad := 0
+	for _, pla := range []int{5, 7} {
+		if s, _ := lmt.Lookup(pla); s != lmt.journal[pla] {
+			bad++
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("%d corrupted entries, want 1", bad)
+	}
+	if n := lmt.Scrub(); n != 1 {
+		t.Fatalf("scrub repaired %d entries, want 1", n)
+	}
+	if s, ok := lmt.Lookup(5); !ok || s != 9 {
+		t.Fatalf("entry 5 -> %d after scrub, want 9", s)
+	}
+	if s, ok := lmt.Lookup(7); !ok || s != 11 {
+		t.Fatalf("entry 7 -> %d after scrub, want 11", s)
+	}
+	if n := lmt.Scrub(); n != 0 {
+		t.Fatalf("second scrub repaired %d entries, want 0", n)
+	}
+}
+
+func TestRegionTableCorruptDetectRebuild(t *testing.T) {
+	rmt := NewRegionTable(4)
+	rmt.AddPair(0, 2)
+	rmt.AddPair(1, 3)
+	rmt.MarkWorn(2) // pra 0, offset 2 -> spare line 2*4+2
+
+	// Drive many corruption draws so both the sra and the wear-out-tag
+	// branches are exercised; every one must be detected and rebuilt.
+	src := xrand.New(7)
+	for i := 0; i < 64; i++ {
+		if !rmt.Corrupt(src) {
+			t.Fatal("corruption failed on a populated table")
+		}
+		if n := rmt.Scrub(); n != 1 {
+			t.Fatalf("round %d: scrub repaired %d entries, want 1", i, n)
+		}
+		// State must be fully restored.
+		if got := rmt.SpareOf(0); got != 2 {
+			t.Fatalf("round %d: SpareOf(0) = %d, want 2", i, got)
+		}
+		if got := rmt.SpareOf(1); got != 3 {
+			t.Fatalf("round %d: SpareOf(1) = %d, want 3", i, got)
+		}
+		if line, replaced := rmt.Translate(2); !replaced || line != 10 {
+			t.Fatalf("round %d: Translate(2) = %d,%v, want 10,true", i, line, replaced)
+		}
+		if rmt.WornTags() != 1 {
+			t.Fatalf("round %d: %d worn tags, want 1", i, rmt.WornTags())
+		}
+	}
+}
+
+func TestMarkWornAfterScrubStaysConsistent(t *testing.T) {
+	// A wear-out recorded after a corrupt+scrub cycle must survive the
+	// next cycle: the journal tracks mutations, not just boot state.
+	rmt := NewRegionTable(2)
+	rmt.AddPair(0, 1)
+	src := xrand.New(3)
+	rmt.Corrupt(src)
+	rmt.Scrub()
+	rmt.MarkWorn(1) // offset 1 of region 0
+	rmt.Corrupt(src)
+	if n := rmt.Scrub(); n != 1 {
+		t.Fatalf("scrub repaired %d entries, want 1", n)
+	}
+	if line, replaced := rmt.Translate(1); !replaced || line != 3 {
+		t.Fatalf("Translate(1) = %d,%v after rebuild, want 3,true", line, replaced)
+	}
+}
+
+func TestHybridCorruptPicksBothTables(t *testing.T) {
+	h := NewHybrid(4)
+	h.RMT.AddPair(0, 1)
+	h.LMT.Add(20, 30)
+	src := xrand.New(11)
+	lmtHit, rmtHit := 0, 0
+	for i := 0; i < 64; i++ {
+		if !h.Corrupt(src) {
+			t.Fatal("hybrid corruption failed")
+		}
+		if h.LMT.Scrub() > 0 {
+			lmtHit++
+		}
+		if h.RMT.Scrub() > 0 {
+			rmtHit++
+		}
+	}
+	if lmtHit == 0 || rmtHit == 0 {
+		t.Fatalf("64 corruptions hit LMT %d / RMT %d times; want both > 0", lmtHit, rmtHit)
+	}
+}

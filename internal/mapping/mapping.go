@@ -21,6 +21,11 @@ type RegionTable struct {
 	linesPerRegion int
 	entries        map[int]*regionEntry // keyed by pra (the RWR)
 	spareOf        map[int]int          // sra -> pra, for invariant checks
+
+	// Integrity state (see integrity.go): per-entry checksum and the
+	// journal (redundant) copy every mutation mirrors into.
+	sum     map[int]uint64
+	journal map[int]*regionEntry
 }
 
 type regionEntry struct {
@@ -37,6 +42,8 @@ func NewRegionTable(linesPerRegion int) *RegionTable {
 		linesPerRegion: linesPerRegion,
 		entries:        map[int]*regionEntry{},
 		spareOf:        map[int]int{},
+		sum:            map[int]uint64{},
+		journal:        map[int]*regionEntry{},
 	}
 }
 
@@ -62,8 +69,11 @@ func (t *RegionTable) AddPair(pra, sra int) {
 	if _, cross := t.spareOf[pra]; cross {
 		panic(fmt.Sprintf("mapping: RWR %d is itself a spare", pra))
 	}
-	t.entries[pra] = &regionEntry{sra: sra, wot: make([]bool, t.linesPerRegion)}
+	e := &regionEntry{sra: sra, wot: make([]bool, t.linesPerRegion)}
+	t.entries[pra] = e
 	t.spareOf[sra] = pra
+	t.journal[pra] = &regionEntry{sra: sra, wot: make([]bool, t.linesPerRegion)}
+	t.sum[pra] = regionSum(pra, e)
 }
 
 // Len returns the number of region pairs.
@@ -100,6 +110,8 @@ func (t *RegionTable) MarkWorn(pla int) (spareLine int) {
 	}
 	off := pla % t.linesPerRegion
 	e.wot[off] = true
+	t.journal[pra].wot[off] = true
+	t.sum[pra] = regionSum(pra, e)
 	return e.sra*t.linesPerRegion + off
 }
 
@@ -139,11 +151,21 @@ type LineTable struct {
 	// inUse tracks spare lines currently serving as a replacement so a
 	// double allocation is caught immediately.
 	inUse map[int]int // spare pla -> worn pla
+
+	// Integrity state (see integrity.go): per-entry checksum and the
+	// journal (redundant) copy every mutation mirrors into.
+	sum     map[int]uint64
+	journal map[int]int
 }
 
 // NewLineTable creates an empty LMT.
 func NewLineTable() *LineTable {
-	return &LineTable{m: map[int]int{}, inUse: map[int]int{}}
+	return &LineTable{
+		m:       map[int]int{},
+		inUse:   map[int]int{},
+		sum:     map[int]uint64{},
+		journal: map[int]int{},
+	}
 }
 
 // Len returns the number of live entries.
@@ -171,6 +193,8 @@ func (t *LineTable) Add(pla, spare int) {
 	}
 	t.m[pla] = spare
 	t.inUse[spare] = pla
+	t.journal[pla] = spare
+	t.sum[pla] = lineSum(pla, spare)
 }
 
 // Remove deletes the entry for pla if present.
@@ -178,6 +202,8 @@ func (t *LineTable) Remove(pla int) {
 	if s, ok := t.m[pla]; ok {
 		delete(t.inUse, s)
 		delete(t.m, pla)
+		delete(t.journal, pla)
+		delete(t.sum, pla)
 	}
 }
 

@@ -1,0 +1,322 @@
+// Package runner is the resilient sweep supervisor for the experiment
+// harness. A sweep is a list of independent cells (one simulation
+// configuration each); the runner executes them sequentially under a
+// shared context, survives individual cell failures, and checkpoints
+// completed cells to a JSON file so an interrupted sweep resumes where it
+// left off instead of recomputing hours of simulation.
+//
+// Resilience mechanisms, per cell:
+//
+//   - panic recovery: a panicking cell is converted to a recorded error
+//     (with stack) instead of killing the sweep;
+//   - per-cell deadline: Config.CellTimeout bounds each attempt through a
+//     derived context;
+//   - bounded deterministic retry: a failed cell is retried immediately up
+//     to Config.Retries times — no sleeps, no jitter, so a retried sweep
+//     is reproducible;
+//   - checkpoint/resume: each completed cell is appended to an atomic
+//     JSON checkpoint (write-to-temp then rename) guarded by a sweep
+//     fingerprint; a rerun with the same fingerprint loads completed
+//     cells instead of recomputing them.
+//
+// Cancellation is cooperative: when the parent context is canceled the
+// runner stops between cells (and in-flight cells observe the same
+// context), saves the checkpoint, and returns the partial report with
+// Interrupted set — it does not return an error, so callers can always
+// print partial results.
+//
+// The runner deliberately runs cells one at a time: sweep results must be
+// bit-identical across runs and resumes, and sequential execution keeps
+// cell ordering (and thus any shared-resource effects) deterministic.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+)
+
+// Cell is one unit of sweep work. Key must be unique within the sweep and
+// stable across runs — it names the cell in checkpoints, progress events
+// and failure reports.
+type Cell[T any] struct {
+	// Key identifies the cell (e.g. "fig8/start-gap/maxwe").
+	Key string
+	// Run computes the cell's result. It must honor ctx cancellation for
+	// the per-cell deadline and sweep interruption to work.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Config tunes the supervisor. The zero value runs cells once each with
+// no deadline and no checkpointing.
+type Config struct {
+	// CellTimeout bounds each attempt of each cell (0 = no deadline).
+	CellTimeout time.Duration
+	// Retries is how many additional attempts a failed cell gets before
+	// its error is recorded (0 = single attempt). Retries are immediate
+	// and deterministic.
+	Retries int
+	// CheckpointPath, when non-empty, enables checkpoint/resume: completed
+	// cells are persisted there after every cell, and an existing
+	// checkpoint with a matching Fingerprint seeds the run.
+	CheckpointPath string
+	// Fingerprint identifies the sweep configuration. A checkpoint written
+	// under a different fingerprint is rejected rather than silently mixed
+	// into unrelated results. Required when CheckpointPath is set.
+	Fingerprint string
+	// Progress, when non-nil, receives one event per cell state change.
+	Progress func(Event)
+}
+
+// Status classifies a progress event.
+type Status int
+
+// Progress event states, in the order a cell moves through them.
+const (
+	// StatusStart fires when an attempt of a cell begins.
+	StatusStart Status = iota
+	// StatusDone fires when a cell completes successfully.
+	StatusDone
+	// StatusRetry fires when an attempt failed and another follows.
+	StatusRetry
+	// StatusFailed fires when a cell's last attempt failed.
+	StatusFailed
+	// StatusCached fires when a cell is satisfied from the checkpoint.
+	StatusCached
+)
+
+// String names the status for logs.
+func (s Status) String() string {
+	switch s {
+	case StatusStart:
+		return "start"
+	case StatusDone:
+		return "done"
+	case StatusRetry:
+		return "retry"
+	case StatusFailed:
+		return "failed"
+	case StatusCached:
+		return "cached"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Event reports one cell state change to Config.Progress.
+type Event struct {
+	// Key is the cell's key.
+	Key string
+	// Index is the cell's position in the sweep (0-based); Total is the
+	// sweep size.
+	Index, Total int
+	// Status is the state the cell moved to.
+	Status Status
+	// Attempt is the 1-based attempt number (0 for StatusCached).
+	Attempt int
+	// Err carries the failure message for StatusRetry and StatusFailed.
+	Err string
+}
+
+// Report is the outcome of a sweep.
+type Report[T any] struct {
+	// Results maps completed cell keys to their values (checkpointed and
+	// freshly computed alike).
+	Results map[string]T
+	// Failed maps cell keys to the error message of their final attempt.
+	Failed map[string]string
+	// Resumed is how many cells were satisfied from the checkpoint.
+	Resumed int
+	// Interrupted is true when the sweep stopped early because the parent
+	// context was canceled; Results then holds the cells completed so far.
+	Interrupted bool
+}
+
+// checkpoint is the JSON document persisted at Config.CheckpointPath.
+type checkpoint struct {
+	Fingerprint string                     `json:"fingerprint"`
+	Completed   map[string]json.RawMessage `json:"completed"`
+}
+
+func (c Config) validate() error {
+	if c.CellTimeout < 0 {
+		return errors.New("runner: Config.CellTimeout must be >= 0")
+	}
+	if c.Retries < 0 {
+		return errors.New("runner: Config.Retries must be >= 0")
+	}
+	if c.CheckpointPath != "" && c.Fingerprint == "" {
+		return errors.New("runner: Config.Fingerprint is required with CheckpointPath")
+	}
+	return nil
+}
+
+// Run executes the sweep. Cell failures do not abort the sweep — they are
+// collected in Report.Failed. Run itself errors only on invalid
+// configuration, duplicate cell keys, or checkpoint I/O problems.
+func Run[T any](ctx context.Context, cfg Config, cells []Cell[T]) (Report[T], error) {
+	rep := Report[T]{
+		Results: make(map[string]T, len(cells)),
+		Failed:  make(map[string]string),
+	}
+	if err := cfg.validate(); err != nil {
+		return rep, err
+	}
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if c.Key == "" {
+			return rep, errors.New("runner: cell with empty key")
+		}
+		if seen[c.Key] {
+			return rep, fmt.Errorf("runner: duplicate cell key %q", c.Key)
+		}
+		seen[c.Key] = true
+	}
+
+	ckpt, err := loadCheckpoint(cfg)
+	if err != nil {
+		return rep, err
+	}
+
+	for i, c := range cells {
+		if raw, ok := ckpt.Completed[c.Key]; ok {
+			var v T
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return rep, fmt.Errorf("runner: checkpoint entry %q: %w", c.Key, err)
+			}
+			rep.Results[c.Key] = v
+			rep.Resumed++
+			cfg.emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: StatusCached})
+			continue
+		}
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
+
+		v, cellErr := runWithRetry(ctx, cfg, c, i, len(cells))
+		if cellErr != nil {
+			if ctx.Err() != nil {
+				// The failure reflects cancellation, not the cell: leave
+				// it incomplete so a resumed sweep recomputes it.
+				rep.Interrupted = true
+				break
+			}
+			rep.Failed[c.Key] = cellErr.Error()
+			cfg.emit(Event{Key: c.Key, Index: i, Total: len(cells),
+				Status: StatusFailed, Attempt: cfg.Retries + 1, Err: cellErr.Error()})
+			continue
+		}
+		rep.Results[c.Key] = v
+		cfg.emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: StatusDone})
+		if err := saveCheckpoint(cfg, ckpt, c.Key, v); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+func (c Config) emit(ev Event) {
+	if c.Progress != nil {
+		c.Progress(ev)
+	}
+}
+
+// runWithRetry drives one cell through its attempts.
+func runWithRetry[T any](ctx context.Context, cfg Config, c Cell[T], idx, total int) (T, error) {
+	var (
+		v   T
+		err error
+	)
+	for attempt := 1; attempt <= cfg.Retries+1; attempt++ {
+		cfg.emit(Event{Key: c.Key, Index: idx, Total: total, Status: StatusStart, Attempt: attempt})
+		v, err = runOnce(ctx, cfg, c)
+		if err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			// Parent cancellation: retrying cannot help and would spin.
+			return v, err
+		}
+		if attempt <= cfg.Retries {
+			cfg.emit(Event{Key: c.Key, Index: idx, Total: total,
+				Status: StatusRetry, Attempt: attempt, Err: err.Error()})
+		}
+	}
+	return v, err
+}
+
+// runOnce performs a single attempt under the per-cell deadline,
+// converting panics into errors.
+func runOnce[T any](ctx context.Context, cfg Config, c Cell[T]) (v T, err error) {
+	if cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: cell %q panicked: %v\n%s", c.Key, r, debug.Stack())
+		}
+	}()
+	return c.Run(ctx)
+}
+
+// loadCheckpoint reads the checkpoint file if configured and present. A
+// missing file is a fresh start, not an error; a fingerprint mismatch is
+// an error, because silently recomputing (or worse, reusing) cells from a
+// different sweep would corrupt results.
+func loadCheckpoint(cfg Config) (checkpoint, error) {
+	ckpt := checkpoint{Completed: make(map[string]json.RawMessage)}
+	if cfg.CheckpointPath == "" {
+		return ckpt, nil
+	}
+	data, err := os.ReadFile(cfg.CheckpointPath)
+	if errors.Is(err, os.ErrNotExist) {
+		ckpt.Fingerprint = cfg.Fingerprint
+		return ckpt, nil
+	}
+	if err != nil {
+		return ckpt, fmt.Errorf("runner: read checkpoint: %w", err)
+	}
+	if err := json.Unmarshal(data, &ckpt); err != nil {
+		return ckpt, fmt.Errorf("runner: parse checkpoint %s: %w", cfg.CheckpointPath, err)
+	}
+	if ckpt.Fingerprint != cfg.Fingerprint {
+		return ckpt, fmt.Errorf("runner: checkpoint %s belongs to sweep %q, want %q",
+			cfg.CheckpointPath, ckpt.Fingerprint, cfg.Fingerprint)
+	}
+	if ckpt.Completed == nil {
+		ckpt.Completed = make(map[string]json.RawMessage)
+	}
+	return ckpt, nil
+}
+
+// saveCheckpoint records one completed cell and atomically rewrites the
+// checkpoint file (write to a temp file, then rename over the target), so
+// a crash mid-write never leaves a truncated checkpoint behind.
+func saveCheckpoint[T any](cfg Config, ckpt checkpoint, key string, v T) error {
+	if cfg.CheckpointPath == "" {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: marshal cell %q: %w", key, err)
+	}
+	ckpt.Completed[key] = raw
+	data, err := json.MarshalIndent(ckpt, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: marshal checkpoint: %w", err)
+	}
+	tmp := cfg.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("runner: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("runner: commit checkpoint: %w", err)
+	}
+	return nil
+}

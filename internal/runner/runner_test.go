@@ -1,0 +1,336 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+type row struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+func sweep(n int) []Cell[row] {
+	cells := make([]Cell[row], n)
+	for i := 0; i < n; i++ {
+		key := string(rune('a' + i))
+		v := float64(i) * 1.5
+		cells[i] = Cell[row]{Key: key, Run: func(ctx context.Context) (row, error) {
+			return row{Key: key, Value: v}, nil
+		}}
+	}
+	return cells
+}
+
+func TestRunCollectsAllCells(t *testing.T) {
+	rep, err := Run(context.Background(), Config{}, sweep(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 || len(rep.Failed) != 0 || rep.Resumed != 0 || rep.Interrupted {
+		t.Fatalf("report %+v", rep)
+	}
+	if got := rep.Results["c"]; got.Value != 3 {
+		t.Fatalf("cell c = %+v", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{Retries: -1}, sweep(1)); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+	if _, err := Run(ctx, Config{CellTimeout: -time.Second}, sweep(1)); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+	if _, err := Run(ctx, Config{CheckpointPath: "x.json"}, sweep(1)); err == nil {
+		t.Fatal("checkpoint without fingerprint accepted")
+	}
+	dup := []Cell[row]{{Key: "a", Run: nil}, {Key: "a", Run: nil}}
+	if _, err := Run(ctx, Config{}, dup); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	if _, err := Run(ctx, Config{}, []Cell[row]{{Key: ""}}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestFailedCellDoesNotAbortSweep(t *testing.T) {
+	cells := sweep(3)
+	cells[1].Run = func(ctx context.Context) (row, error) {
+		return row{}, errors.New("boom")
+	}
+	rep, err := Run(context.Background(), Config{}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results %+v", rep.Results)
+	}
+	if rep.Failed["b"] != "boom" {
+		t.Fatalf("failed %+v", rep.Failed)
+	}
+}
+
+func TestBoundedRetrySucceedsDeterministically(t *testing.T) {
+	attempts := 0
+	cells := []Cell[row]{{Key: "flaky", Run: func(ctx context.Context) (row, error) {
+		attempts++
+		if attempts < 3 {
+			return row{}, errors.New("transient")
+		}
+		return row{Key: "flaky", Value: 7}, nil
+	}}}
+	rep, err := Run(context.Background(), Config{Retries: 2}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("ran %d attempts, want 3", attempts)
+	}
+	if rep.Results["flaky"].Value != 7 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	attempts := 0
+	cells := []Cell[row]{{Key: "dead", Run: func(ctx context.Context) (row, error) {
+		attempts++
+		return row{}, errors.New("always")
+	}}}
+	var events []Event
+	rep, err := Run(context.Background(), Config{Retries: 2, Progress: func(ev Event) {
+		events = append(events, ev)
+	}}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("ran %d attempts, want 3 (1 + 2 retries)", attempts)
+	}
+	if rep.Failed["dead"] != "always" {
+		t.Fatalf("failed %+v", rep.Failed)
+	}
+	var seq []Status
+	for _, ev := range events {
+		seq = append(seq, ev.Status)
+	}
+	want := []Status{StatusStart, StatusRetry, StatusStart, StatusRetry, StatusStart, StatusFailed}
+	if !reflect.DeepEqual(seq, want) {
+		t.Fatalf("event sequence %v, want %v", seq, want)
+	}
+}
+
+func TestPanicBecomesRecordedError(t *testing.T) {
+	cells := sweep(2)
+	cells[0].Run = func(ctx context.Context) (row, error) {
+		panic("cell exploded")
+	}
+	rep, err := Run(context.Background(), Config{}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := rep.Failed["a"]
+	if !strings.Contains(msg, "cell exploded") || !strings.Contains(msg, "panicked") {
+		t.Fatalf("panic not captured: %q", msg)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatal("surviving cell did not run")
+	}
+}
+
+func TestCellTimeoutFailsOnlyThatCell(t *testing.T) {
+	cells := sweep(2)
+	cells[0].Run = func(ctx context.Context) (row, error) {
+		<-ctx.Done()
+		return row{}, ctx.Err()
+	}
+	rep, err := Run(context.Background(), Config{CellTimeout: 10 * time.Millisecond}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Failed["a"], context.DeadlineExceeded.Error()) {
+		t.Fatalf("failed %+v", rep.Failed)
+	}
+	if _, ok := rep.Results["b"]; !ok {
+		t.Fatal("sweep did not continue past the timed-out cell")
+	}
+	if rep.Interrupted {
+		t.Fatal("cell deadline must not mark the sweep interrupted")
+	}
+}
+
+func TestCancellationInterruptsAndPreservesPartials(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cells := sweep(4)
+	base := cells[1].Run
+	cells[1].Run = func(c context.Context) (row, error) {
+		cancel() // the sweep learns mid-cell that the user hit Ctrl-C
+		return base(c)
+	}
+	rep, err := Run(ctx, Config{}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("canceled sweep not marked interrupted")
+	}
+	if _, ok := rep.Results["a"]; !ok {
+		t.Fatal("completed cell lost on interruption")
+	}
+	// The in-flight cell completed despite racing the cancellation: its
+	// result is kept, not discarded or recorded as failed.
+	if _, ok := rep.Results["b"]; !ok {
+		t.Fatal("successfully completed in-flight cell discarded")
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("failed %+v", rep.Failed)
+	}
+	if _, ok := rep.Results["c"]; ok {
+		t.Fatal("cell after cancellation still ran")
+	}
+}
+
+func ckptConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		CheckpointPath: filepath.Join(t.TempDir(), "ckpt.json"),
+		Fingerprint:    "sweep-v1",
+	}
+}
+
+func TestCheckpointResumeIsBitIdentical(t *testing.T) {
+	// Reference: uninterrupted sweep.
+	ref, err := Run(context.Background(), Config{}, sweep(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ckptConfig(t)
+	// First run: a cell panics after two successes, simulating a crash —
+	// the checkpoint must survive with the completed prefix.
+	cells := sweep(5)
+	cells[2].Run = func(ctx context.Context) (row, error) {
+		panic("simulated crash")
+	}
+	rep1, err := Run(context.Background(), cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Results) != 4 || len(rep1.Failed) != 1 {
+		t.Fatalf("first pass %+v", rep1)
+	}
+
+	// Second run: same sweep, healthy cells. Completed cells come from
+	// the checkpoint; only the crashed one is recomputed.
+	ran := 0
+	cells = sweep(5)
+	for i := range cells {
+		base := cells[i].Run
+		cells[i].Run = func(ctx context.Context) (row, error) {
+			ran++
+			return base(ctx)
+		}
+	}
+	rep2, err := Run(context.Background(), cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("resume recomputed %d cells, want 1", ran)
+	}
+	if rep2.Resumed != 4 {
+		t.Fatalf("resumed %d cells, want 4", rep2.Resumed)
+	}
+	if !reflect.DeepEqual(ref.Results, rep2.Results) {
+		t.Fatalf("resumed sweep diverged:\nref %+v\ngot %+v", ref.Results, rep2.Results)
+	}
+}
+
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	cfg := ckptConfig(t)
+	if _, err := Run(context.Background(), cfg, sweep(2)); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fingerprint = "sweep-v2"
+	_, err := Run(context.Background(), cfg, sweep(2))
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") &&
+		!strings.Contains(err.Error(), "belongs to sweep") {
+		t.Fatalf("fingerprint mismatch accepted: %v", err)
+	}
+}
+
+func TestCorruptCheckpointRejected(t *testing.T) {
+	cfg := ckptConfig(t)
+	if err := os.WriteFile(cfg.CheckpointPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), cfg, sweep(1)); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestCheckpointSurvivesProcessBoundary(t *testing.T) {
+	// The checkpoint is plain JSON on disk: a fresh Run (standing in for
+	// a fresh process) with the same fingerprint must pick it up.
+	cfg := ckptConfig(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cells := sweep(3)
+	base := cells[0].Run
+	cells[0].Run = func(c context.Context) (row, error) {
+		cancel()
+		return base(c)
+	}
+	rep, err := Run(ctx, cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted || len(rep.Results) != 1 {
+		t.Fatalf("interrupted pass %+v", rep)
+	}
+
+	rep2, err := Run(context.Background(), cfg, sweep(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != 1 || len(rep2.Results) != 3 || rep2.Interrupted {
+		t.Fatalf("second pass %+v", rep2)
+	}
+}
+
+func TestCachedCellsEmitProgress(t *testing.T) {
+	cfg := ckptConfig(t)
+	if _, err := Run(context.Background(), cfg, sweep(2)); err != nil {
+		t.Fatal(err)
+	}
+	var cached int
+	cfg.Progress = func(ev Event) {
+		if ev.Status == StatusCached {
+			cached++
+		}
+	}
+	if _, err := Run(context.Background(), cfg, sweep(2)); err != nil {
+		t.Fatal(err)
+	}
+	if cached != 2 {
+		t.Fatalf("saw %d cached events, want 2", cached)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusStart: "start", StatusDone: "done", StatusRetry: "retry",
+		StatusFailed: "failed", StatusCached: "cached", Status(99): "status(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("Status(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -3,7 +3,9 @@ package sim
 import (
 	"testing"
 
+	"maxwe/internal/attack"
 	"maxwe/internal/endurance"
+	"maxwe/internal/faultinject"
 	"maxwe/internal/spare"
 	"maxwe/internal/xrand"
 )
@@ -48,6 +50,63 @@ func FuzzStepperInvariants(f *testing.F) {
 		// wear-out transition per line.
 		if float64(res.DeviceWrites) > p.Sum()+float64(p.Lines()) {
 			t.Fatalf("device writes %d exceed total budget %v", res.DeviceWrites, p.Sum())
+		}
+	})
+}
+
+// FuzzFaultPlan runs full lifetimes under arbitrary seeded fault plans and
+// checks that every plan completes or fails cleanly: no panic, device
+// writes cover user traffic plus retries, retries stay within the policy
+// bound, and metadata scrubbing repairs every corruption it is handed.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint16(200), uint16(10), uint16(10), uint8(3))
+	f.Add(uint64(7), uint64(11), uint16(1000), uint16(0), uint16(50), uint8(1))
+	f.Add(uint64(3), uint64(5), uint16(0), uint16(0), uint16(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed, faultSeed uint64, transPM, stuckPM, metaPM uint16, maxRetries uint8) {
+		// Per-mille rates keep the fuzzed probabilities inside [0, 1)
+		// while still reaching aggressive fault densities.
+		plan, err := faultinject.NewPlan(faultinject.Config{
+			Seed:                faultSeed,
+			TransientProb:       float64(transPM%1000) / 1000,
+			StuckAtProb:         float64(stuckPM%1000) / 1000,
+			MetadataProb:        float64(metaPM%1000) / 1000,
+			MaxTransientRetries: int(maxRetries%16) + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := endurance.Linear(8, 8, 5, 250).Shuffled(xrand.New(seed))
+		res, err := Run(Config{
+			Profile: p,
+			Scheme:  spare.NewMaxWE(p, spare.DefaultMaxWEOptions()),
+			Attack:  attack.NewUAA(),
+			Faults:  plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Failed {
+			t.Fatal("uncapped run ended without device failure")
+		}
+		if res.DeviceWrites < res.UserWrites {
+			t.Fatalf("device writes %d < user writes %d", res.DeviceWrites, res.UserWrites)
+		}
+		if res.DeviceWrites < res.UserWrites+res.Faults.Retries {
+			t.Fatalf("device writes %d do not cover user writes %d + retries %d",
+				res.DeviceWrites, res.UserWrites, res.Faults.Retries)
+		}
+		pol := faultinject.DefaultRetryPolicy()
+		if res.Faults.Retries > res.Faults.TransientFaults*int64(pol.MaxRetries) {
+			t.Fatalf("retries %d exceed %d per transient fault",
+				res.Faults.Retries, pol.MaxRetries)
+		}
+		if res.Faults.Escalations > res.Faults.TransientFaults {
+			t.Fatalf("escalations %d exceed transient faults %d",
+				res.Faults.Escalations, res.Faults.TransientFaults)
+		}
+		if res.Faults.MetadataRepairs != res.Faults.MetadataFaults {
+			t.Fatalf("metadata repairs %d != faults %d",
+				res.Faults.MetadataRepairs, res.Faults.MetadataFaults)
 		}
 	})
 }

@@ -24,6 +24,7 @@ import (
 	"maxwe/internal/attack"
 	"maxwe/internal/device"
 	"maxwe/internal/endurance"
+	"maxwe/internal/faultinject"
 	"maxwe/internal/spare"
 	"maxwe/internal/wearlevel"
 )
@@ -43,6 +44,22 @@ type Config struct {
 	// regardless because every user write consumes at least one unit of
 	// finite device budget; the cap exists for truncated experiments.
 	MaxUserWrites int64
+
+	// Faults, when non-nil and enabled, injects the configured fault plan
+	// into every physical write (see internal/faultinject and faults.go).
+	// A nil or all-zero plan is a strict no-op: the engine takes the
+	// exact pre-fault write path.
+	Faults *faultinject.Plan
+	// Retry bounds the engine's response to transient write failures.
+	// The zero value selects faultinject.DefaultRetryPolicy. Ignored
+	// unless Faults is enabled.
+	Retry faultinject.RetryPolicy
+
+	// Done, when non-nil, makes the run cancelable: the engine polls the
+	// channel every 1024 user writes and stops early once it is closed,
+	// returning the partial result with Interrupted set. Leave nil for
+	// the uncancelable (and marginally faster) loop.
+	Done <-chan struct{}
 }
 
 // Result reports one lifetime measurement.
@@ -65,6 +82,12 @@ type Result struct {
 	// Failed is true when the device actually failed; false when the run
 	// stopped at MaxUserWrites.
 	Failed bool
+	// Interrupted is true when the run was canceled through Config.Done
+	// before failing or reaching MaxUserWrites.
+	Interrupted bool
+	// Faults counts injected faults per class (all zero when no fault
+	// plan ran).
+	Faults faultinject.Counters
 }
 
 var (
@@ -95,6 +118,11 @@ func (c Config) validate() error {
 	if c.MaxUserWrites < 0 {
 		return errors.New("sim: MaxUserWrites must be >= 0")
 	}
+	if c.Faults.Enabled() && c.Retry != (faultinject.RetryPolicy{}) {
+		if err := c.Retry.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -105,14 +133,37 @@ type engine struct {
 	dev    *device.Device
 	scheme spare.Scheme
 	failed bool
+
+	// Fault layer (nil faults = the exact pre-fault write path; see
+	// faults.go).
+	faults *faultinject.Plan
+	retry  faultinject.RetryPolicy
+	ctr    faultinject.Counters
 }
 
 var _ wearlevel.Mover = (*engine)(nil)
+
+// newEngine assembles the write engine, arming the fault layer only when
+// the config carries an enabled plan.
+func newEngine(cfg Config, dev *device.Device) *engine {
+	e := &engine{dev: dev, scheme: cfg.Scheme}
+	if cfg.Faults.Enabled() {
+		e.faults = cfg.Faults
+		e.retry = cfg.Retry
+		if e.retry == (faultinject.RetryPolicy{}) {
+			e.retry = faultinject.DefaultRetryPolicy()
+		}
+	}
+	return e
+}
 
 // WriteSlot performs one physical write backing user slot u. On a wear-out
 // transition it runs the scheme's replacement procedure; if the scheme is
 // out of spares the device has failed and WriteSlot returns false.
 func (e *engine) WriteSlot(u int) bool {
+	if e.faults != nil {
+		return e.writeSlotFaulty(u)
+	}
 	line := e.scheme.Access(u)
 	if e.dev.Write(line) {
 		if !e.scheme.OnWearOut(u) {
@@ -137,12 +188,23 @@ func RunDetailed(cfg Config) (Result, *device.Device, error) {
 		return Result{}, nil, err
 	}
 	dev := device.New(cfg.Profile)
-	e := &engine{dev: dev, scheme: cfg.Scheme}
+	e := newEngine(cfg, dev)
 
 	var userWrites int64
+	interrupted := false
 	for {
 		if cfg.MaxUserWrites > 0 && userWrites >= cfg.MaxUserWrites {
 			break
+		}
+		if cfg.Done != nil && userWrites&1023 == 0 {
+			select {
+			case <-cfg.Done:
+				interrupted = true
+			default:
+			}
+			if interrupted {
+				break
+			}
 		}
 		// The write that exhausts a line's budget still completes (the
 		// replacement procedure runs afterwards), so it counts as served
@@ -172,17 +234,19 @@ func RunDetailed(cfg Config) (Result, *device.Device, error) {
 		}
 	}
 
-	return buildResult(cfg, dev, userWrites, e.failed), dev, nil
+	return buildResult(cfg, dev, userWrites, e, interrupted), dev, nil
 }
 
-func buildResult(cfg Config, dev *device.Device, userWrites int64, failed bool) Result {
+func buildResult(cfg Config, dev *device.Device, userWrites int64, e *engine, interrupted bool) Result {
 	r := Result{
 		UserWrites:         userWrites,
 		DeviceWrites:       dev.TotalWrites(),
 		NormalizedLifetime: float64(userWrites) / cfg.Profile.Sum(),
 		WornLines:          dev.WornCount(),
 		SparesUsed:         cfg.Scheme.SpareLinesUsed(),
-		Failed:             failed,
+		Failed:             e.failed,
+		Interrupted:        interrupted,
+		Faults:             e.ctr,
 	}
 	if userWrites > 0 {
 		r.WriteAmplification = float64(dev.TotalWrites()) / float64(userWrites)

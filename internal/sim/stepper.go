@@ -7,8 +7,10 @@ package sim
 import "maxwe/internal/device"
 
 // Stepper drives the device + leveler + scheme stack one user write at a
-// time. Construct with NewStepper; the Config's Attack field is ignored
-// (MaxUserWrites too — the caller controls the write stream).
+// time. Construct with NewStepper; the Config's Attack field is ignored —
+// the caller controls the write stream. Config.MaxUserWrites is honored
+// exactly as in Run: once the cap is reached, Write rejects further
+// writes, so external drivers cannot overrun truncated experiments.
 type Stepper struct {
 	cfg        Config
 	dev        *device.Device
@@ -31,7 +33,7 @@ func NewStepper(cfg Config) (*Stepper, error) {
 	return &Stepper{
 		cfg: cfg,
 		dev: dev,
-		e:   &engine{dev: dev, scheme: cfg.Scheme},
+		e:   newEngine(cfg, dev),
 	}, nil
 }
 
@@ -56,9 +58,12 @@ func (s *Stepper) Failed() bool { return s.e.failed }
 // Write performs one user write to logical line lla. It returns false
 // once the device has failed (including when this very write triggered
 // the unrecoverable wear-out — the write itself still counted, matching
-// Run's accounting).
+// Run's accounting) or once Config.MaxUserWrites writes have been served.
 func (s *Stepper) Write(lla int) bool {
 	if s.e.failed {
+		return false
+	}
+	if s.cfg.MaxUserWrites > 0 && s.userWrites >= s.cfg.MaxUserWrites {
 		return false
 	}
 	if s.cfg.Leveler == nil {
@@ -83,7 +88,7 @@ func (s *Stepper) Write(lla int) bool {
 
 // Result summarizes the writes served so far (callable at any point).
 func (s *Stepper) Result() Result {
-	return buildResult(s.cfg, s.dev, s.userWrites, s.e.failed)
+	return buildResult(s.cfg, s.dev, s.userWrites, s.e, false)
 }
 
 // Device exposes the underlying device for wear inspection.

@@ -1,0 +1,67 @@
+package spare
+
+import (
+	"testing"
+
+	"maxwe/internal/endurance"
+	"maxwe/internal/xrand"
+)
+
+// metadataProfile is large enough that the default spare split yields
+// whole SWR regions, so a fresh Max-WE starts with RMT pairs to corrupt
+// (testProfile's 40 lines round the SWR share down to zero regions).
+func metadataProfile() *endurance.Profile {
+	return endurance.Linear(32, 8, 10, 500)
+}
+
+func TestMaxWEMetadataCorruptScrubRoundtrip(t *testing.T) {
+	p := metadataProfile().Shuffled(xrand.New(1))
+	s := NewMaxWE(p, DefaultMaxWEOptions())
+
+	// A fresh scrub on intact metadata finds nothing.
+	if n := s.ScrubMetadata(); n != 0 {
+		t.Fatalf("clean scrub repaired %d entries", n)
+	}
+
+	// Record the full slot -> line binding before the fault.
+	before := make([]int, s.UserLines())
+	for u := range before {
+		before[u] = s.Access(u)
+	}
+
+	src := xrand.New(2)
+	for round := 0; round < 32; round++ {
+		if !s.CorruptMetadata(src) {
+			t.Fatalf("round %d: Max-WE has metadata but Corrupt found none", round)
+		}
+		if n := s.ScrubMetadata(); n != 1 {
+			t.Fatalf("round %d: scrub repaired %d entries, want 1", round, n)
+		}
+	}
+
+	// Every binding is restored: the corrupt/scrub cycle is lossless.
+	for u, want := range before {
+		if got := s.Access(u); got != want {
+			t.Fatalf("slot %d resolves to line %d after scrub, want %d", u, got, want)
+		}
+	}
+}
+
+func TestMaxWEMetadataCorruptIsDeterministic(t *testing.T) {
+	build := func() *MaxWEScheme {
+		return NewMaxWE(metadataProfile().Shuffled(xrand.New(1)), DefaultMaxWEOptions())
+	}
+	a, b := build(), build()
+	srcA, srcB := xrand.New(5), xrand.New(5)
+	for round := 0; round < 16; round++ {
+		a.CorruptMetadata(srcA)
+		b.CorruptMetadata(srcB)
+		for u := 0; u < a.UserLines(); u++ {
+			if a.Access(u) != b.Access(u) {
+				t.Fatalf("round %d: corruption diverged at slot %d", round, u)
+			}
+		}
+		a.ScrubMetadata()
+		b.ScrubMetadata()
+	}
+}

@@ -543,3 +543,16 @@ func (s *MaxWEScheme) AdditionalRegionIDs() []int { return append([]int(nil), s.
 // Mapping exposes the hybrid tables (read-only use expected) for overhead
 // reporting and white-box tests.
 func (s *MaxWEScheme) Mapping() *mapping.Hybrid { return s.hybrid }
+
+// CorruptMetadata injects one metadata fault into the scheme's hybrid
+// mapping tables (the fault-injection layer's metadata fault class). It
+// returns false when the tables hold no entries to corrupt. Until the
+// next ScrubMetadata, Access may resolve through the damaged entry.
+func (s *MaxWEScheme) CorruptMetadata(src *xrand.Source) bool {
+	return s.hybrid.Corrupt(src)
+}
+
+// ScrubMetadata runs the integrity scrub over the hybrid tables,
+// rebuilding corrupted entries from their journal copies, and returns how
+// many entries were repaired.
+func (s *MaxWEScheme) ScrubMetadata() int { return s.hybrid.Scrub() }

@@ -31,12 +31,14 @@
 package maxwe
 
 import (
+	"context"
 	"fmt"
 
 	"maxwe/internal/analytic"
 	"maxwe/internal/attack"
 	"maxwe/internal/detect"
 	"maxwe/internal/endurance"
+	"maxwe/internal/faultinject"
 	"maxwe/internal/mapping"
 	"maxwe/internal/sim"
 	"maxwe/internal/spare"
@@ -47,6 +49,23 @@ import (
 // Result is the outcome of a lifetime run. See the field documentation in
 // the simulator for the exact semantics of each counter.
 type Result = sim.Result
+
+// FaultConfig describes a deterministic fault-injection plan (transient
+// write failures, stuck-at line deaths, metadata corruption). The zero
+// value disables injection entirely. See internal/faultinject.
+type FaultConfig = faultinject.Config
+
+// FaultCounters reports injected faults per class; it appears in
+// Result.Faults (all zero when no faults are configured).
+type FaultCounters = faultinject.Counters
+
+// RetryPolicy bounds the simulated controller's response to transient
+// write failures. The zero value selects DefaultRetryPolicy.
+type RetryPolicy = faultinject.RetryPolicy
+
+// DefaultRetryPolicy returns the default transient-fault retry policy
+// (4 retries, exponential backoff 1, 2, 4, 8).
+func DefaultRetryPolicy() RetryPolicy { return faultinject.DefaultRetryPolicy() }
 
 // AnalyticParams exposes the paper's closed-form linear lifetime model
 // (Equations 3-8).
@@ -124,6 +143,14 @@ type Config struct {
 	MaxUserWrites int64
 	// Seed makes the whole run reproducible.
 	Seed uint64
+
+	// Faults configures deterministic fault injection. The zero value is
+	// a strict no-op: the run is bit-identical to one without a fault
+	// layer.
+	Faults FaultConfig
+	// Retry bounds recovery from transient write faults; the zero value
+	// selects DefaultRetryPolicy. Ignored unless Faults is enabled.
+	Retry RetryPolicy
 }
 
 // DefaultConfig returns the paper's evaluation operating point on a
@@ -154,6 +181,7 @@ type System struct {
 	scheme  spare.Scheme
 	leveler wearlevel.Leveler
 	attack  attack.Attack
+	faults  *faultinject.Plan
 }
 
 // New validates cfg and assembles a System.
@@ -192,6 +220,15 @@ func New(cfg Config) (*System, error) {
 	s.attack, err = buildAttack(cfg)
 	if err != nil {
 		return nil, err
+	}
+	s.faults, err = faultinject.NewPlan(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("maxwe: %w", err)
+	}
+	if cfg.Faults.Enabled() && cfg.Retry != (RetryPolicy{}) {
+		if err := cfg.Retry.Validate(); err != nil {
+			return nil, fmt.Errorf("maxwe: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -328,17 +365,34 @@ func (s *System) UserLines() int { return s.scheme.UserLines() }
 // IdealLifetime returns Σ line endurance, the normalization denominator.
 func (s *System) IdealLifetime() float64 { return s.profile.Sum() }
 
-// RunLifetime drives the configured attack against the system until the
-// device fails (or MaxUserWrites is reached) and reports the lifetime.
-// It consumes the system's wear state; build a fresh System to re-run.
-func (s *System) RunLifetime() Result {
-	res, err := sim.Run(sim.Config{
+// simConfig assembles the simulator configuration shared by every run
+// mode, with done wiring cooperative cancellation (nil = uncancelable).
+func (s *System) simConfig(done <-chan struct{}) sim.Config {
+	return sim.Config{
 		Profile:       s.profile,
 		Scheme:        s.scheme,
 		Leveler:       s.leveler,
 		Attack:        s.attack,
 		MaxUserWrites: s.cfg.MaxUserWrites,
-	})
+		Faults:        s.faults,
+		Retry:         s.cfg.Retry,
+		Done:          done,
+	}
+}
+
+// RunLifetime drives the configured attack against the system until the
+// device fails (or MaxUserWrites is reached) and reports the lifetime.
+// It consumes the system's wear state; build a fresh System to re-run.
+func (s *System) RunLifetime() Result {
+	return s.RunLifetimeCtx(context.Background())
+}
+
+// RunLifetimeCtx is RunLifetime with cooperative cancellation: when ctx
+// is canceled mid-run, the simulation stops early and returns the partial
+// result with Interrupted set (it does not error — partial lifetimes are
+// still valid measurements of the writes served so far).
+func (s *System) RunLifetimeCtx(ctx context.Context) Result {
+	res, err := sim.Run(s.simConfig(ctx.Done()))
 	if err != nil {
 		// New validated everything sim.Run checks; reaching this is a
 		// bug in the facade, not a user error.
@@ -352,13 +406,7 @@ func (s *System) RunLifetime() Result {
 // fraction over [0, 1], worn lines in the last bin. Useful for
 // visualizing how evenly a scheme spread the attack.
 func (s *System) RunLifetimeWithWear(buckets int) (Result, []int) {
-	res, dev, err := sim.RunDetailed(sim.Config{
-		Profile:       s.profile,
-		Scheme:        s.scheme,
-		Leveler:       s.leveler,
-		Attack:        s.attack,
-		MaxUserWrites: s.cfg.MaxUserWrites,
-	})
+	res, dev, err := sim.RunDetailed(s.simConfig(nil))
 	if err != nil {
 		// New validated everything sim checks; reaching this is a bug.
 		panic(fmt.Errorf("maxwe: sim rejected a validated config: %w", err))
@@ -371,11 +419,9 @@ func (s *System) RunLifetimeWithWear(buckets int) (Result, []int) {
 // addresses one at a time (a file trace, a DRAM buffer's write-backs).
 // Like RunLifetime, it consumes the system — use one or the other.
 func (s *System) Stepper() *Stepper {
-	st, err := sim.NewStepper(sim.Config{
-		Profile: s.profile,
-		Scheme:  s.scheme,
-		Leveler: s.leveler,
-	})
+	cfg := s.simConfig(nil)
+	cfg.Attack = nil // the caller controls the write stream
+	st, err := sim.NewStepper(cfg)
 	if err != nil {
 		// New already validated this configuration.
 		panic(fmt.Errorf("maxwe: sim rejected a validated config: %w", err))
@@ -394,7 +440,8 @@ func (s *Stepper) LogicalLines() int { return s.st.LogicalLines() }
 
 // Write performs one user write to logical line lla (non-negative;
 // values beyond the logical space fold modulo its size). It returns
-// false once the device has failed.
+// false once the device has failed or Config.MaxUserWrites writes have
+// been served.
 func (s *Stepper) Write(lla int) bool { return s.st.Write(lla) }
 
 // Failed reports whether the device has failed.
