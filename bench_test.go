@@ -8,6 +8,7 @@
 package maxwe
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"maxwe/internal/mapping"
 	"maxwe/internal/perfmodel"
 	"maxwe/internal/report"
+	"maxwe/internal/runner"
 	"maxwe/internal/sim"
 	"maxwe/internal/spare"
 	"maxwe/internal/xrand"
@@ -644,6 +646,35 @@ func BenchmarkSimWritePath(b *testing.B) {
 		b.Fatalf("served %d of %d writes", res.UserWrites, b.N)
 	}
 }
+
+// benchRunnerSweep times one full Figure-8 sweep (12 independent BPA
+// simulations) through the sweep supervisor at the given worker count.
+// Results are bit-identical at every parallelism (a property test in
+// internal/experiments); the benchmark measures only the wall-clock
+// difference, which tracks GOMAXPROCS — on a single-core host the two
+// variants coincide (see BENCH_PR4.json's gomaxprocs field).
+func benchRunnerSweep(b *testing.B, parallelism int) {
+	s := experiments.QuickSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.Run(context.Background(),
+			runner.Config{Parallelism: parallelism}, experiments.Fig8Cells(s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Failed) != 0 {
+			b.Fatalf("failed cells: %+v", rep.Failed)
+		}
+	}
+}
+
+// BenchmarkRunnerSequential runs the Fig 8 sweep on the exact sequential
+// path (Parallelism 1).
+func BenchmarkRunnerSequential(b *testing.B) { benchRunnerSweep(b, 1) }
+
+// BenchmarkRunnerParallel runs the same sweep with one worker per CPU
+// (Parallelism 0).
+func BenchmarkRunnerParallel(b *testing.B) { benchRunnerSweep(b, 0) }
 
 // BenchmarkUAAFastPath measures the event-driven UAA engine.
 func BenchmarkUAAFastPath(b *testing.B) {

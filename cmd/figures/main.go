@@ -55,6 +55,8 @@ var (
 		"per-cell deadline for the sweep artifacts (0 = none)")
 	retriesFlag = flag.Int("retries", 0,
 		"additional deterministic attempts per failed sweep cell")
+	parallelFlag = flag.Int("parallel", 0,
+		"worker count for the sweep artifacts (0 = one per CPU, 1 = sequential); results are identical at every setting")
 )
 
 // runCtx is canceled on SIGINT/SIGTERM; the sweep artifacts poll it and
@@ -231,6 +233,7 @@ func sweepConfig(artifact string, s experiments.Setup) runner.Config {
 	cfg := runner.Config{
 		CellTimeout: *cellTimeout,
 		Retries:     *retriesFlag,
+		Parallelism: *parallelFlag,
 		Progress: func(ev runner.Event) {
 			switch ev.Status {
 			case runner.StatusRetry, runner.StatusFailed:
@@ -248,26 +251,24 @@ func sweepConfig(artifact string, s experiments.Setup) runner.Config {
 	return cfg
 }
 
-// runSweep drives one sweep artifact through the supervisor and reports
-// interruption and failures on stderr; the caller renders whatever cells
-// completed.
-func runSweep[T any](artifact string, s experiments.Setup, cells []runner.Cell[T]) map[string]T {
-	rep, err := runner.Run(runCtx, sweepConfig(artifact, s), cells)
+// reportSweep surfaces a sweep artifact's error or interruption on stderr;
+// the caller renders whatever cells completed.
+func reportSweep[T any](artifact string, rep runner.Report[T], total int, err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
 	}
 	if rep.Interrupted {
 		fmt.Fprintf(os.Stderr, "figures: %s interrupted after %d/%d cells (partial table follows)\n",
-			artifact, len(rep.Results), len(cells))
+			artifact, len(rep.Results), total)
 	}
-	return rep.Results
 }
 
 func fig7(s experiments.Setup) {
 	percents := []int{0, 20, 60, 80, 90, 100}
-	results := runSweep("fig7", s, experiments.Fig7Cells(s, percents, experiments.WLNames()))
-	rows := experiments.Fig7FromResults(results, percents, experiments.WLNames())
+	total := len(percents) * len(experiments.WLNames())
+	rows, rep, err := experiments.Fig7Sweep(runCtx, sweepConfig("fig7", s), s, percents, experiments.WLNames())
+	reportSweep("fig7", rep, total, err)
 	t := report.NewTable("Figure 7 — normalized lifetime under BPA vs SWR percentage",
 		"wear leveling", "swr %", "normalized lifetime")
 	series := map[string][]float64{}
@@ -288,8 +289,9 @@ func fig7(s experiments.Setup) {
 }
 
 func fig8(s experiments.Setup) {
-	results := runSweep("fig8", s, experiments.Fig8Cells(s))
-	rows, gmeans := experiments.Fig8FromResults(results)
+	total := len(experiments.WLNames()) * len(experiments.SchemeNames())
+	rows, gmeans, rep, err := experiments.Fig8Sweep(runCtx, sweepConfig("fig8", s), s)
+	reportSweep("fig8", rep, total, err)
 	t := report.NewTable("Figure 8 — spare-scheme comparison under BPA",
 		"wear leveling", "scheme", "normalized lifetime")
 	for _, r := range rows {

@@ -6,6 +6,10 @@
 // next poll point and the partial result is printed, so a long run
 // interrupted with Ctrl-C still reports the writes it served.
 //
+// With -seeds N the same stack is simulated under N consecutive seeds
+// (seed, seed+1, ...) and the lifetime spread is reported; -parallel
+// spreads those runs across workers with results identical to -parallel 1.
+//
 // Examples:
 //
 //	nvmsim                                  # Max-WE under UAA, paper defaults
@@ -13,6 +17,7 @@
 //	nvmsim -scheme max-we -attack bpa -wl wawl
 //	nvmsim -scheme ps-worst -spare 0.2 -q 100
 //	nvmsim -fault-transient 0.01 -fault-stuckat 0.001   # inject faults
+//	nvmsim -scheme max-we -attack bpa -seeds 16 -parallel 0
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"maxwe"
 	"maxwe/internal/perfmodel"
 	"maxwe/internal/report"
+	"maxwe/internal/runner"
 )
 
 func main() {
@@ -49,17 +55,25 @@ func main() {
 	flag.IntVar(&cfg.Faults.MaxTransientRetries, "fault-retries", 0, "max retries a transient fault demands (0 = default)")
 	flag.Uint64Var(&cfg.Faults.Seed, "fault-seed", 0, "fault plan seed (independent of -seed)")
 	wearBuckets := flag.Int("wear-buckets", 0, "print a wear histogram with this many buckets (0 = off)")
+	seedsFlag := flag.Int("seeds", 1, "simulate this many consecutive seeds (seed, seed+1, ...) and report the spread")
+	parallelFlag := flag.Int("parallel", 0, "worker count for -seeds sweeps (0 = one per CPU, 1 = sequential); results are identical at every setting")
 	flag.Parse()
+
+	// Ctrl-C cancels the run cooperatively; the partial result is printed
+	// below. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *seedsFlag > 1 {
+		runSeedSweep(ctx, cfg, *seedsFlag, *parallelFlag)
+		return
+	}
 
 	sys, err := maxwe.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvmsim:", err)
 		os.Exit(2)
 	}
-	// Ctrl-C cancels the run cooperatively; the partial result is printed
-	// below. A second signal kills the process the default way.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	var res maxwe.Result
 	var wear []int
@@ -113,6 +127,79 @@ func main() {
 		}
 		fmt.Print(report.BarChart("lines per consumed-budget bucket at end of run",
 			labels, values, 40))
+	}
+}
+
+// runSeedSweep simulates the configured stack under seeds consecutive
+// seeds through the sweep supervisor and prints the per-seed lifetimes
+// plus their spread. Every run is an independent cell, so the sweep is
+// embarrassingly parallel yet produces the same table at every worker
+// count.
+func runSeedSweep(ctx context.Context, base maxwe.Config, seeds, parallel int) {
+	cells := make([]runner.Cell[maxwe.Result], seeds)
+	for i := 0; i < seeds; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		cells[i] = runner.Cell[maxwe.Result]{
+			Key: fmt.Sprintf("seed/%d", cfg.Seed),
+			Run: func(c context.Context) (maxwe.Result, error) {
+				sys, err := maxwe.New(cfg)
+				if err != nil {
+					return maxwe.Result{}, err
+				}
+				res := sys.RunLifetimeCtx(c)
+				if res.Interrupted {
+					// Leave the cell incomplete rather than recording a
+					// truncated lifetime.
+					return maxwe.Result{}, c.Err()
+				}
+				return res, nil
+			},
+		}
+	}
+	rep, err := runner.Run(ctx, runner.Config{Parallelism: parallel}, cells)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvmsim:", err)
+		os.Exit(2)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("lifetime across %d seeds (scheme=%s wl=%s attack=%s)",
+			seeds, base.Scheme, orNone(base.WearLeveling), base.Attack),
+		"seed", "normalized lifetime", "user writes", "worn lines", "spares used")
+	var sum, min, max float64
+	n := 0
+	for i := 0; i < seeds; i++ {
+		seed := base.Seed + uint64(i)
+		res, ok := rep.Results[fmt.Sprintf("seed/%d", seed)]
+		if !ok {
+			continue
+		}
+		t.AddRow(seed, res.NormalizedLifetime, res.UserWrites, res.WornLines, res.SparesUsed)
+		if n == 0 || res.NormalizedLifetime < min {
+			min = res.NormalizedLifetime
+		}
+		if n == 0 || res.NormalizedLifetime > max {
+			max = res.NormalizedLifetime
+		}
+		sum += res.NormalizedLifetime
+		n++
+	}
+	_, _ = t.WriteTo(os.Stdout)
+	if n > 0 {
+		fmt.Printf("normalized lifetime: mean %.4f, min %.4f, max %.4f over %d seeds\n",
+			sum/float64(n), min, max, n)
+	}
+	for key, msg := range rep.Failed {
+		fmt.Fprintf(os.Stderr, "nvmsim: %s failed: %s\n", key, msg)
+	}
+	if rep.Interrupted {
+		fmt.Fprintf(os.Stderr, "nvmsim: interrupted after %d/%d seeds (partial spread above)\n",
+			n, seeds)
+		os.Exit(130)
+	}
+	if len(rep.Failed) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -9,11 +9,17 @@
 // A long replay is cancelable: on SIGINT/SIGTERM the loop stops at the
 // next loop boundary and the wear accumulated so far is still reported.
 //
+// With -seeds N the trace is replayed against N independently seeded
+// stacks (seed, seed+1, ...) and the wear spread is reported; -parallel
+// spreads those replays across workers with results identical to
+// -parallel 1.
+//
 // Examples:
 //
 //	tracegen -n 100000 > oltp.trace
 //	replay -trace oltp.trace
 //	replay -trace oltp.trace -scheme none -loops 100
+//	replay -trace oltp.trace -loops 0 -seeds 8 -parallel 0
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"syscall"
 
 	"maxwe"
+	"maxwe/internal/report"
+	"maxwe/internal/runner"
 	"maxwe/internal/trace"
 )
 
@@ -41,6 +49,8 @@ func main() {
 	flag.StringVar(&cfg.WearLeveling, "wl", cfg.WearLeveling, "wear-leveling substrate")
 	flag.IntVar(&cfg.Psi, "psi", cfg.Psi, "wear-leveling remap period")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	seedsFlag := flag.Int("seeds", 1, "replay against this many consecutively seeded stacks and report the spread")
+	parallelFlag := flag.Int("parallel", 0, "worker count for -seeds sweeps (0 = one per CPU, 1 = sequential); results are identical at every setting")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -73,39 +83,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := maxwe.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "replay:", err)
-		os.Exit(2)
-	}
-	st := sys.Stepper()
-
 	// Ctrl-C stops the replay at the next poll point; the partial wear
 	// report below still prints.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	loopsDone := 0
-	interrupted := false
-	for loop := 0; (*loops == 0 || loop < *loops) && !st.Failed() && !interrupted; loop++ {
-		for i, r := range records {
-			if i&4095 == 0 && ctx.Err() != nil {
-				interrupted = true
-				break
-			}
-			if r.Op != trace.Write {
-				continue
-			}
-			if !st.Write(r.Line) {
-				break
-			}
-		}
-		if !interrupted {
-			loopsDone++
-		}
+	if *seedsFlag > 1 {
+		runSeedSweep(ctx, cfg, records, *tracePath, writesInTrace, *loops, *seedsFlag, *parallelFlag)
+		return
 	}
 
-	res := st.Result()
+	sys, err := maxwe.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(2)
+	}
+	res, loopsDone, interrupted := replayTrace(ctx, sys, records, *loops)
 	fmt.Printf("trace              : %s (%d records, %d writes/loop)\n",
 		*tracePath, len(records), writesInTrace)
 	fmt.Printf("stack              : scheme=%s spares=%.0f%% wl=%s\n",
@@ -122,6 +115,101 @@ func main() {
 		fmt.Println("outcome            : device failed")
 	default:
 		fmt.Println("outcome            : device survived the replay")
+	}
+}
+
+// replayTrace loops the decoded trace through the stack's stepper until
+// the loop budget, device failure or cancellation.
+func replayTrace(ctx context.Context, sys *maxwe.System, records []trace.Record, loops int) (maxwe.Result, int, bool) {
+	st := sys.Stepper()
+	loopsDone := 0
+	interrupted := false
+	for loop := 0; (loops == 0 || loop < loops) && !st.Failed() && !interrupted; loop++ {
+		for i, r := range records {
+			if i&4095 == 0 && ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			if r.Op != trace.Write {
+				continue
+			}
+			if !st.Write(r.Line) {
+				break
+			}
+		}
+		if !interrupted {
+			loopsDone++
+		}
+	}
+	return st.Result(), loopsDone, interrupted
+}
+
+// seedReplay is one seeded replay outcome carried through the sweep
+// supervisor.
+type seedReplay struct {
+	Seed   uint64       `json:"seed"`
+	Loops  int          `json:"loops"`
+	Result maxwe.Result `json:"result"`
+}
+
+// runSeedSweep replays the trace against seeds independently seeded
+// stacks and prints the wear spread. Each replay is an independent cell,
+// so worker count never changes the table.
+func runSeedSweep(ctx context.Context, base maxwe.Config, records []trace.Record,
+	tracePath string, writesInTrace, loops, seeds, parallel int) {
+	cells := make([]runner.Cell[seedReplay], seeds)
+	for i := 0; i < seeds; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		cells[i] = runner.Cell[seedReplay]{
+			Key: fmt.Sprintf("seed/%d", cfg.Seed),
+			Run: func(c context.Context) (seedReplay, error) {
+				sys, err := maxwe.New(cfg)
+				if err != nil {
+					return seedReplay{}, err
+				}
+				res, done, interrupted := replayTrace(c, sys, records, loops)
+				if interrupted {
+					// Leave the cell incomplete rather than recording a
+					// truncated replay.
+					return seedReplay{}, c.Err()
+				}
+				return seedReplay{Seed: cfg.Seed, Loops: done, Result: res}, nil
+			},
+		}
+	}
+	rep, err := runner.Run(ctx, runner.Config{Parallelism: parallel}, cells)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("trace              : %s (%d records, %d writes/loop)\n",
+		tracePath, len(records), writesInTrace)
+	fmt.Printf("stack              : scheme=%s spares=%.0f%% wl=%s\n",
+		base.Scheme, base.SpareFraction*100, orNone(base.WearLeveling))
+	t := report.NewTable(fmt.Sprintf("wear across %d seeds", seeds),
+		"seed", "loops", "budget consumed %", "worn lines", "spares used", "failed")
+	n := 0
+	for i := 0; i < seeds; i++ {
+		r, ok := rep.Results[fmt.Sprintf("seed/%d", base.Seed+uint64(i))]
+		if !ok {
+			continue
+		}
+		t.AddRow(r.Seed, r.Loops, r.Result.NormalizedLifetime*100,
+			r.Result.WornLines, r.Result.SparesUsed, r.Result.Failed)
+		n++
+	}
+	_, _ = t.WriteTo(os.Stdout)
+	for key, msg := range rep.Failed {
+		fmt.Fprintf(os.Stderr, "replay: %s failed: %s\n", key, msg)
+	}
+	if rep.Interrupted {
+		fmt.Fprintf(os.Stderr, "replay: interrupted after %d/%d seeds (partial spread above)\n", n, seeds)
+		os.Exit(130)
+	}
+	if len(rep.Failed) > 0 {
+		os.Exit(1)
 	}
 }
 

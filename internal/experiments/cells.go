@@ -118,6 +118,29 @@ func Fig8Cells(s Setup) []runner.Cell[Fig8Row] {
 	return cells
 }
 
+// Fig7Sweep drives the Fig7 cells through the sweep supervisor — with
+// whatever parallelism, checkpointing and retry policy cfg carries — and
+// assembles the completed rows. The report is returned alongside so
+// callers can surface interruption and per-cell failures.
+func Fig7Sweep(ctx context.Context, cfg runner.Config, s Setup, swrPercents []int, wls []string) ([]Fig7Row, runner.Report[Fig7Row], error) {
+	rep, err := runner.Run(ctx, cfg, Fig7Cells(s, swrPercents, wls))
+	if err != nil {
+		return nil, rep, err
+	}
+	return Fig7FromResults(rep.Results, swrPercents, wls), rep, nil
+}
+
+// Fig8Sweep is Fig7Sweep's counterpart for the Figure 8 cells; it also
+// recomputes the per-scheme geometric means over the completed rows.
+func Fig8Sweep(ctx context.Context, cfg runner.Config, s Setup) ([]Fig8Row, map[string]float64, runner.Report[Fig8Row], error) {
+	rep, err := runner.Run(ctx, cfg, Fig8Cells(s))
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	rows, gmeans := Fig8FromResults(rep.Results)
+	return rows, gmeans, rep, nil
+}
+
 // Fig8FromResults assembles completed Fig8 cells back into Fig8's row
 // order and recomputes the per-scheme geometric means over the rows
 // present. Cells missing from results are skipped (their scheme's gmean

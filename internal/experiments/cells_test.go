@@ -66,6 +66,10 @@ func TestFig8SweepResumesBitIdentical(t *testing.T) {
 	cfg := runner.Config{
 		CheckpointPath: filepath.Join(t.TempDir(), "fig8.ckpt.json"),
 		Fingerprint:    s.Fingerprint(),
+		// Parallelism 1 pins the sequential cut line: with a worker pool,
+		// every remaining cell may already be in flight when the third Done
+		// lands, and a cancellation that outruns no work interrupts nothing.
+		Parallelism: 1,
 	}
 	// Kill the sweep after the third completed cell.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -95,6 +99,46 @@ func TestFig8SweepResumesBitIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ref.Results, rep2.Results) {
 		t.Fatalf("resumed sweep diverged:\nref %+v\ngot %+v", ref.Results, rep2.Results)
+	}
+}
+
+func TestFigSweepsParallelBitIdentical(t *testing.T) {
+	// Acceptance criterion: the Fig 7/8 sweeps produce results bit-identical
+	// to the sequential run at every worker count.
+	s := QuickSetup()
+	pcts := []int{0, 90}
+	wls := []string{"tlsr", "bwl"}
+
+	refRows7, refRep7, err := Fig7Sweep(context.Background(), runner.Config{Parallelism: 1}, s, pcts, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows8, refGmeans, refRep8, err := Fig8Sweep(context.Background(), runner.Config{Parallelism: 1}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refRep7.Failed)+len(refRep8.Failed) != 0 {
+		t.Fatalf("failed cells: %+v %+v", refRep7.Failed, refRep8.Failed)
+	}
+
+	for _, par := range []int{0, 2, 8} {
+		rows7, rep7, err := Fig7Sweep(context.Background(), runner.Config{Parallelism: par}, s, pcts, wls)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(refRows7, rows7) || !reflect.DeepEqual(refRep7.Results, rep7.Results) {
+			t.Fatalf("parallelism %d: Fig7 diverged from sequential", par)
+		}
+		rows8, gmeans, rep8, err := Fig8Sweep(context.Background(), runner.Config{Parallelism: par}, s)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(refRows8, rows8) || !reflect.DeepEqual(refRep8.Results, rep8.Results) {
+			t.Fatalf("parallelism %d: Fig8 diverged from sequential", par)
+		}
+		if !reflect.DeepEqual(refGmeans, gmeans) {
+			t.Fatalf("parallelism %d: Fig8 gmeans diverged from sequential", par)
+		}
 	}
 }
 

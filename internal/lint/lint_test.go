@@ -37,6 +37,7 @@ func TestGolden(t *testing.T) {
 		cfg      func() *Config
 	}{
 		{"nondet", Nondeterminism, nil},
+		{"concurrent", Nondeterminism, nil},
 		{"floatcmp", Floatcmp, func() *Config {
 			cfg := DefaultConfig()
 			cfg.FloatcmpApproved = append(cfg.FloatcmpApproved, "floatcmp.approxEqual")
@@ -95,6 +96,28 @@ func TestRunOnOwnPackage(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("self-lint: %s", d)
+	}
+}
+
+// TestConcurrencyExemptionScopedToRunner pins the policy that makes the
+// sync/goroutine ban sound: internal/runner (the worker pool) is the only
+// library path exempt from nondeterminism, and the simulation packages
+// stay covered.
+func TestConcurrencyExemptionScopedToRunner(t *testing.T) {
+	cfg := DefaultConfig()
+	if !cfg.exempt("nondeterminism", "internal/runner/parallel.go") {
+		t.Error("internal/runner lost its nondeterminism exemption")
+	}
+	for _, f := range []string{
+		"internal/sim/sim.go",
+		"internal/spare/spare.go",
+		"internal/experiments/cells.go",
+		"internal/wearlevel/wearlevel.go",
+		"internal/faultinject/faultinject.go",
+	} {
+		if cfg.exempt("nondeterminism", f) {
+			t.Errorf("%s is exempt from nondeterminism; the concurrency ban must cover it", f)
+		}
 	}
 }
 

@@ -7,14 +7,18 @@ import (
 )
 
 // Nondeterminism enforces the reproducibility invariant: simulation code
-// must not import math/rand (use internal/xrand) and must not call the
-// wall clock or read the process environment. Every run of the simulator
-// must be a pure function of its explicit configuration and seed.
+// must not import math/rand (use internal/xrand), must not call the
+// wall clock or read the process environment, and must not introduce its
+// own concurrency (sync imports, go statements) — the worker pool in
+// internal/runner is the only sanctioned parallelism, and it is exempted
+// by path in DefaultConfig. Every run of the simulator must be a pure
+// function of its explicit configuration and seed.
 var Nondeterminism = &Analyzer{
 	Name: "nondeterminism",
-	Doc: "forbid math/rand imports and time.Now/os.Getenv-style calls in " +
-		"simulation packages; all randomness must flow through internal/xrand " +
-		"and all configuration through explicit values",
+	Doc: "forbid math/rand imports, time.Now/os.Getenv-style calls, and " +
+		"sync/goroutine concurrency in simulation packages; all randomness " +
+		"must flow through internal/xrand, all configuration through explicit " +
+		"values, and all parallelism through internal/runner",
 	Run: runNondeterminism,
 }
 
@@ -23,6 +27,8 @@ var Nondeterminism = &Analyzer{
 var bannedImports = map[string]string{
 	"math/rand":    "global PRNG state breaks bit-for-bit reproducibility; use internal/xrand",
 	"math/rand/v2": "global PRNG state breaks bit-for-bit reproducibility; use internal/xrand",
+	"sync":         "scheduler-dependent interleaving breaks reproducibility; parallelism belongs to internal/runner's worker pool",
+	"sync/atomic":  "scheduler-dependent interleaving breaks reproducibility; parallelism belongs to internal/runner's worker pool",
 }
 
 // bannedCalls maps fully qualified function names to the reason calling
@@ -50,6 +56,10 @@ func runNondeterminism(p *Pass) {
 		}
 	}
 	p.inspectFiles(func(_ *ast.File, n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			p.Reportf(g.Pos(), "go statement: scheduler-dependent interleaving breaks reproducibility; parallelism belongs to internal/runner's worker pool")
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

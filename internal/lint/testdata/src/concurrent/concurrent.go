@@ -1,0 +1,36 @@
+// Package concurrent exercises the nondeterminism rule's concurrency
+// bans: sync/sync-atomic imports and go statements are reserved for the
+// internal/runner worker pool (exempted by path in DefaultConfig) and
+// must be flagged everywhere else.
+package concurrent
+
+import (
+	"sync"        // want `import of sync: scheduler-dependent interleaving breaks reproducibility`
+	"sync/atomic" // want `import of sync/atomic: scheduler-dependent interleaving breaks reproducibility`
+)
+
+// Bad spawns its own goroutine and synchronizes with locks and atomics —
+// exactly the concurrency a simulation package must not contain.
+func Bad() int64 {
+	var n int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `go statement: scheduler-dependent interleaving breaks reproducibility`
+		atomic.AddInt64(&n, 1)
+		wg.Done()
+	}()
+	wg.Wait()
+	return atomic.LoadInt64(&n)
+}
+
+// Good shows the sanctioned shapes: receiving on a supplied cancellation
+// channel (how sim.Config.Done works) involves no goroutines or locks of
+// its own.
+func Good(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

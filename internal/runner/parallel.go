@@ -1,0 +1,152 @@
+// parallel.go is the worker-pool execution path of the sweep supervisor.
+//
+// Determinism argument: every cell is an independent simulation that
+// derives all of its state (profile, scheme, attack, randomness) from its
+// own configuration, so cells may execute in any order and on any
+// goroutine without affecting their values. What must stay ordered is the
+// *commitment* of outcomes: results are recorded, StatusDone/StatusFailed/
+// StatusCached events emitted, and checkpoint snapshots written by a
+// single collector that walks the cells strictly in sweep order, waiting
+// for each cell's outcome before moving on. The sequence of checkpoint
+// file states a parallel sweep writes is therefore exactly the sequence
+// the sequential loop writes (restricted, under cancellation, to the
+// cells that completed), and Report.Results/Failed are bit-identical at
+// every parallelism level.
+//
+// Cancellation differs from the sequential loop in one documented way:
+// the sequential loop stops at the first cell it observes canceled, while
+// the pool lets every in-flight cell finish (or observe the cancellation
+// itself) and commits all successful outcomes, so an interrupted parallel
+// sweep may checkpoint cells the sequential loop would not have reached.
+// Either way the checkpoint holds only bit-exact completed cells, so a
+// resumed sweep — sequential or parallel — converges to the identical
+// final report.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// outcome carries one computed cell from a worker to the collector.
+type outcome[T any] struct {
+	v   T
+	err error
+}
+
+// runParallel executes the non-checkpointed cells on a bounded worker
+// pool and commits outcomes in sweep order. It mutates rep in place and
+// returns the first checkpoint I/O or decode error, like the sequential
+// loop.
+func runParallel[T any](ctx context.Context, cfg Config, cells []Cell[T], ckpt checkpoint, rep *Report[T]) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	// On every exit: stop the feeder and workers, then wait for in-flight
+	// cells, so no goroutine outlives Run (and no Progress callback fires
+	// after Run returns).
+	defer wg.Wait()
+	defer cancel()
+
+	var progressMu sync.Mutex
+	emit := func(ev Event) {
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		cfg.Progress(ev)
+	}
+
+	// One buffered outcome slot per pending (non-checkpointed) cell: a
+	// worker never blocks handing over a result, and the collector can
+	// still drain outcomes that landed after cancellation.
+	pending := make([]int, 0, len(cells))
+	outcomes := make([]chan outcome[T], len(cells))
+	for i, c := range cells {
+		if _, ok := ckpt.Completed[c.Key]; !ok {
+			pending = append(pending, i)
+			outcomes[i] = make(chan outcome[T], 1)
+		}
+	}
+	workers := cfg.parallelism()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				v, err := runWithRetry(runCtx, cfg, cells[i], i, len(cells), emit)
+				outcomes[i] <- outcome[T]{v: v, err: err}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(work)
+		for _, i := range pending {
+			select {
+			case work <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	// idle closes once every worker has exited — after cancellation this
+	// is the signal that no further outcomes can arrive.
+	idle := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(idle)
+	}()
+
+	for i, c := range cells {
+		if raw, ok := ckpt.Completed[c.Key]; ok {
+			var v T
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return fmt.Errorf("runner: checkpoint entry %q: %w", c.Key, err)
+			}
+			rep.Results[c.Key] = v
+			rep.Resumed++
+			emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: StatusCached})
+			continue
+		}
+		var out outcome[T]
+		select {
+		case out = <-outcomes[i]:
+		case <-idle:
+			// The pool shut down (cancellation). The cell's outcome may
+			// still have been buffered just before the workers exited.
+			select {
+			case out = <-outcomes[i]:
+			default:
+				rep.Interrupted = true
+				continue
+			}
+		}
+		if out.err != nil {
+			if ctx.Err() != nil {
+				// The failure reflects cancellation, not the cell: leave
+				// it incomplete so a resumed sweep recomputes it.
+				rep.Interrupted = true
+				continue
+			}
+			rep.Failed[c.Key] = out.err.Error()
+			emit(Event{Key: c.Key, Index: i, Total: len(cells),
+				Status: StatusFailed, Attempt: cfg.Retries + 1, Err: out.err.Error()})
+			continue
+		}
+		rep.Results[c.Key] = out.v
+		emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: StatusDone})
+		if err := saveCheckpoint(cfg, ckpt, c.Key, out.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

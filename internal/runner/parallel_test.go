@@ -1,0 +1,214 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// deterministicSweep builds n cells whose values are pure functions of
+// their index, with every index in fail computing an error instead.
+func deterministicSweep(n int, fail map[int]bool) []Cell[row] {
+	cells := make([]Cell[row], n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("cell-%03d", i)
+		v := float64(i)*2.5 + 1
+		shouldFail := fail[i]
+		cells[i] = Cell[row]{Key: key, Run: func(ctx context.Context) (row, error) {
+			if shouldFail {
+				return row{}, errors.New("deterministic failure")
+			}
+			return row{Key: key, Value: v}, nil
+		}}
+	}
+	return cells
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Parallelism: -1}, sweep(1)); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+}
+
+func TestParallelMatchesSequentialBitIdentical(t *testing.T) {
+	fail := map[int]bool{3: true, 11: true}
+	ref, err := Run(context.Background(), Config{Parallelism: 1}, deterministicSweep(16, fail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 4, 16, 32} {
+		rep, err := Run(context.Background(), Config{Parallelism: par}, deterministicSweep(16, fail))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(ref.Results, rep.Results) {
+			t.Fatalf("parallelism %d: results diverged from sequential", par)
+		}
+		if !reflect.DeepEqual(ref.Failed, rep.Failed) {
+			t.Fatalf("parallelism %d: failures diverged from sequential", par)
+		}
+		if rep.Interrupted || rep.Resumed != 0 {
+			t.Fatalf("parallelism %d: report %+v", par, rep)
+		}
+	}
+}
+
+func TestParallelCheckpointBytesMatchSequential(t *testing.T) {
+	runWith := func(par int) []byte {
+		cfg := ckptConfig(t)
+		cfg.Parallelism = par
+		if _, err := Run(context.Background(), cfg, deterministicSweep(9, nil)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(cfg.CheckpointPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq, par := runWith(1), runWith(8)
+	if string(seq) != string(par) {
+		t.Fatalf("checkpoint files differ:\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+func TestParallelDoneEventsArriveInSweepOrder(t *testing.T) {
+	// The collector commits in cell order regardless of completion order,
+	// so Done events carry strictly increasing indices. The non-atomic
+	// counter below doubles as a race-detector probe that Progress is
+	// never invoked concurrently.
+	var calls int
+	lastDone := -1
+	cfg := Config{Parallelism: 4, Progress: func(ev Event) {
+		calls++
+		if ev.Status == StatusDone {
+			if ev.Index <= lastDone {
+				t.Errorf("Done for cell %d after cell %d", ev.Index, lastDone)
+			}
+			lastDone = ev.Index
+		}
+	}}
+	if _, err := Run(context.Background(), cfg, deterministicSweep(12, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != 11 {
+		t.Fatalf("last Done index %d, want 11", lastDone)
+	}
+	if calls < 24 { // 12 Start + 12 Done at minimum
+		t.Fatalf("saw %d progress events, want >= 24", calls)
+	}
+}
+
+func TestParallelRetryAndPanicSemantics(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	cells := deterministicSweep(6, nil)
+	cells[2].Run = func(ctx context.Context) (row, error) {
+		mu.Lock()
+		attempts["flaky"]++
+		n := attempts["flaky"]
+		mu.Unlock()
+		if n < 3 {
+			return row{}, errors.New("transient")
+		}
+		return row{Key: "cell-002", Value: 42}, nil
+	}
+	cells[4].Run = func(ctx context.Context) (row, error) {
+		panic("parallel cell exploded")
+	}
+	rep, err := Run(context.Background(), Config{Parallelism: 3, Retries: 2}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts["flaky"] != 3 {
+		t.Fatalf("flaky cell ran %d attempts, want 3", attempts["flaky"])
+	}
+	if rep.Results["cell-002"].Value != 42 {
+		t.Fatalf("retried cell result %+v", rep.Results["cell-002"])
+	}
+	if msg := rep.Failed["cell-004"]; msg == "" ||
+		!reflect.DeepEqual(len(rep.Failed), 1) {
+		t.Fatalf("panic not recorded: %+v", rep.Failed)
+	}
+}
+
+// TestParallelInterruptCheckpointResumesBitIdentical is the SIGINT-style
+// scenario: a parallel sweep is canceled mid-run, checkpoints whatever
+// completed, and a later run (sequential here, the strictest reference)
+// resumes from that checkpoint and converges to results bit-identical to
+// an uninterrupted sequential sweep.
+func TestParallelInterruptCheckpointResumesBitIdentical(t *testing.T) {
+	ref, err := Run(context.Background(), Config{Parallelism: 1}, deterministicSweep(10, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ckptConfig(t)
+	cfg.Parallelism = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cells := deterministicSweep(10, nil)
+	base := cells[5].Run
+	cells[5].Run = func(c context.Context) (row, error) {
+		cancel() // SIGINT arrives while the pool is mid-sweep
+		return base(c)
+	}
+	rep1, err := Run(ctx, cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Interrupted && len(rep1.Results) != 10 {
+		t.Fatalf("interrupted pass %+v", rep1)
+	}
+	for key, v := range rep1.Results {
+		if ref.Results[key] != v {
+			t.Fatalf("interrupted pass computed %q = %+v, reference %+v",
+				key, v, ref.Results[key])
+		}
+	}
+
+	cfg.Parallelism = 1
+	recomputed := 0
+	cells = deterministicSweep(10, nil)
+	for i := range cells {
+		base := cells[i].Run
+		cells[i].Run = func(c context.Context) (row, error) {
+			recomputed++
+			return base(c)
+		}
+	}
+	rep2, err := Run(context.Background(), cfg, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != len(rep1.Results) {
+		t.Fatalf("resumed %d cells, checkpoint held %d", rep2.Resumed, len(rep1.Results))
+	}
+	if recomputed != 10-len(rep1.Results) {
+		t.Fatalf("recomputed %d cells, want %d", recomputed, 10-len(rep1.Results))
+	}
+	if !reflect.DeepEqual(ref.Results, rep2.Results) {
+		t.Fatalf("resumed sweep diverged:\nref %+v\ngot %+v", ref.Results, rep2.Results)
+	}
+}
+
+func TestParallelResumesFromSequentialCheckpoint(t *testing.T) {
+	// Checkpoints are interchangeable across parallelism levels: a file
+	// written by a sequential run seeds a parallel rerun and vice versa.
+	cfg := ckptConfig(t)
+	cfg.Parallelism = 1
+	if _, err := Run(context.Background(), cfg, deterministicSweep(6, nil)); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	rep, err := Run(context.Background(), cfg, deterministicSweep(6, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 6 || len(rep.Results) != 6 {
+		t.Fatalf("parallel resume %+v", rep)
+	}
+}

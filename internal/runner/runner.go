@@ -25,9 +25,16 @@
 // Interrupted set — it does not return an error, so callers can always
 // print partial results.
 //
-// The runner deliberately runs cells one at a time: sweep results must be
-// bit-identical across runs and resumes, and sequential execution keeps
-// cell ordering (and thus any shared-resource effects) deterministic.
+// Cells are scheduled across a bounded worker pool (Config.Parallelism;
+// the default is one worker per available CPU). Because every cell is an
+// independent, self-seeded simulation, parallel execution changes nothing
+// observable about the sweep's outcome: results, failure reports and
+// checkpoint contents are bit-identical at every parallelism level —
+// completed cells are committed (recorded and checkpointed) strictly in
+// cell order by a single collector, and only the interleaving of
+// StatusStart/StatusRetry progress events and the exact set of cells
+// completed at an interruption differ. Parallelism 1 runs the plain
+// sequential loop.
 package runner
 
 import (
@@ -36,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"time"
 )
@@ -69,7 +77,24 @@ type Config struct {
 	// into unrelated results. Required when CheckpointPath is set.
 	Fingerprint string
 	// Progress, when non-nil, receives one event per cell state change.
+	// With Parallelism > 1 it is called from multiple goroutines but never
+	// concurrently (the runner serializes invocations), so the callback
+	// needs no locking of its own.
 	Progress func(Event)
+	// Parallelism bounds how many cells run concurrently. 0 selects
+	// runtime.GOMAXPROCS(0) (one worker per available CPU); 1 runs the
+	// exact sequential path. Results, Failed and checkpoint contents are
+	// bit-identical across parallelism levels; see the package comment.
+	Parallelism int
+}
+
+// parallelism resolves the configured worker count: the 0 default means
+// one worker per available CPU.
+func (c Config) parallelism() int {
+	if c.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallelism
 }
 
 // Status classifies a progress event.
@@ -151,6 +176,9 @@ func (c Config) validate() error {
 	if c.CheckpointPath != "" && c.Fingerprint == "" {
 		return errors.New("runner: Config.Fingerprint is required with CheckpointPath")
 	}
+	if c.Parallelism < 0 {
+		return errors.New("runner: Config.Parallelism must be >= 0")
+	}
 	return nil
 }
 
@@ -181,6 +209,11 @@ func Run[T any](ctx context.Context, cfg Config, cells []Cell[T]) (Report[T], er
 		return rep, err
 	}
 
+	if cfg.parallelism() > 1 {
+		err = runParallel(ctx, cfg, cells, ckpt, &rep)
+		return rep, err
+	}
+
 	for i, c := range cells {
 		if raw, ok := ckpt.Completed[c.Key]; ok {
 			var v T
@@ -197,7 +230,7 @@ func Run[T any](ctx context.Context, cfg Config, cells []Cell[T]) (Report[T], er
 			break
 		}
 
-		v, cellErr := runWithRetry(ctx, cfg, c, i, len(cells))
+		v, cellErr := runWithRetry(ctx, cfg, c, i, len(cells), cfg.emit)
 		if cellErr != nil {
 			if ctx.Err() != nil {
 				// The failure reflects cancellation, not the cell: leave
@@ -225,14 +258,15 @@ func (c Config) emit(ev Event) {
 	}
 }
 
-// runWithRetry drives one cell through its attempts.
-func runWithRetry[T any](ctx context.Context, cfg Config, c Cell[T], idx, total int) (T, error) {
+// runWithRetry drives one cell through its attempts, reporting state
+// changes through emit (which must be safe for the calling goroutine).
+func runWithRetry[T any](ctx context.Context, cfg Config, c Cell[T], idx, total int, emit func(Event)) (T, error) {
 	var (
 		v   T
 		err error
 	)
 	for attempt := 1; attempt <= cfg.Retries+1; attempt++ {
-		cfg.emit(Event{Key: c.Key, Index: idx, Total: total, Status: StatusStart, Attempt: attempt})
+		emit(Event{Key: c.Key, Index: idx, Total: total, Status: StatusStart, Attempt: attempt})
 		v, err = runOnce(ctx, cfg, c)
 		if err == nil {
 			return v, nil
@@ -242,7 +276,7 @@ func runWithRetry[T any](ctx context.Context, cfg Config, c Cell[T], idx, total 
 			return v, err
 		}
 		if attempt <= cfg.Retries {
-			cfg.emit(Event{Key: c.Key, Index: idx, Total: total,
+			emit(Event{Key: c.Key, Index: idx, Total: total,
 				Status: StatusRetry, Attempt: attempt, Err: err.Error()})
 		}
 	}

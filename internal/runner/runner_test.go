@@ -168,6 +168,9 @@ func TestCellTimeoutFailsOnlyThatCell(t *testing.T) {
 }
 
 func TestCancellationInterruptsAndPreservesPartials(t *testing.T) {
+	// Parallelism 1 pins the sequential cut line: cells after the
+	// cancellation point must not have started. (A parallel pool may have
+	// later cells legitimately in flight; see parallel_test.go.)
 	ctx, cancel := context.WithCancel(context.Background())
 	cells := sweep(4)
 	base := cells[1].Run
@@ -175,7 +178,7 @@ func TestCancellationInterruptsAndPreservesPartials(t *testing.T) {
 		cancel() // the sweep learns mid-cell that the user hit Ctrl-C
 		return base(c)
 	}
-	rep, err := Run(ctx, Config{}, cells)
+	rep, err := Run(ctx, Config{Parallelism: 1}, cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +283,9 @@ func TestCorruptCheckpointRejected(t *testing.T) {
 func TestCheckpointSurvivesProcessBoundary(t *testing.T) {
 	// The checkpoint is plain JSON on disk: a fresh Run (standing in for
 	// a fresh process) with the same fingerprint must pick it up.
+	// Parallelism 1 pins which cells complete before the cancellation.
 	cfg := ckptConfig(t)
+	cfg.Parallelism = 1
 	ctx, cancel := context.WithCancel(context.Background())
 	cells := sweep(3)
 	base := cells[0].Run

@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -191,50 +190,102 @@ func RunDetailed(cfg Config) (Result, *device.Device, error) {
 	e := newEngine(cfg, dev)
 
 	var userWrites int64
-	interrupted := false
+	var interrupted bool
+	if cfg.Leveler == nil && e.faults == nil {
+		userWrites, interrupted = runDirect(cfg, dev, e)
+	} else {
+		userWrites, interrupted = runGeneral(cfg, e)
+	}
+	return buildResult(cfg, dev, userWrites, e, interrupted), dev, nil
+}
+
+// runDirect is the no-leveler, no-fault inner loop — the hot path of every
+// unleveled sweep. The per-write engine indirection is removed: the scheme
+// lookup, device write and wear-out hook run inline, and the user capacity
+// is hoisted into a local. Capacity is loop-invariant except across a
+// wear-out (only PCD shrinks, and only inside OnWearOut), so it is
+// refreshed exactly there instead of being an interface call per write.
+func runDirect(cfg Config, dev *device.Device, e *engine) (userWrites int64, interrupted bool) {
+	scheme := e.scheme
+	att := cfg.Attack
+	maxWrites := cfg.MaxUserWrites
+	done := cfg.Done
+	userLines := scheme.UserLines()
 	for {
-		if cfg.MaxUserWrites > 0 && userWrites >= cfg.MaxUserWrites {
-			break
+		if maxWrites > 0 && userWrites >= maxWrites {
+			return userWrites, false
 		}
-		if cfg.Done != nil && userWrites&1023 == 0 {
+		if done != nil && userWrites&1023 == 0 {
 			select {
-			case <-cfg.Done:
-				interrupted = true
+			case <-done:
+				return userWrites, true
 			default:
 			}
-			if interrupted {
-				break
-			}
+		}
+		if userLines == 0 {
+			e.failed = true
+			return userWrites, false
 		}
 		// The write that exhausts a line's budget still completes (the
 		// replacement procedure runs afterwards), so it counts as served
 		// even when the device fails to recover from it.
+		u := att.Next(userLines)
+		userWrites++
+		if dev.Write(scheme.Access(u)) {
+			if !scheme.OnWearOut(u) {
+				e.failed = true
+				return userWrites, false
+			}
+			userLines = scheme.UserLines()
+		}
+	}
+}
+
+// runGeneral handles the leveled and fault-injecting configurations, where
+// writes must flow through engine.WriteSlot (and relocation traffic through
+// the Mover interface). The logical address space never changes size, so it
+// is hoisted out of the loop.
+func runGeneral(cfg Config, e *engine) (userWrites int64, interrupted bool) {
+	logicalLines := 0
+	if cfg.Leveler != nil {
+		logicalLines = cfg.Leveler.LogicalLines()
+	}
+	for {
+		if cfg.MaxUserWrites > 0 && userWrites >= cfg.MaxUserWrites {
+			return userWrites, false
+		}
+		if cfg.Done != nil && userWrites&1023 == 0 {
+			select {
+			case <-cfg.Done:
+				return userWrites, true
+			default:
+			}
+		}
+		// See runDirect: the exhausting write still counts as served.
 		if cfg.Leveler == nil {
 			if cfg.Scheme.UserLines() == 0 {
 				e.failed = true
-				break
+				return userWrites, false
 			}
 			u := cfg.Attack.Next(cfg.Scheme.UserLines())
 			ok := e.WriteSlot(u)
 			userWrites++
 			if !ok {
-				break
+				return userWrites, false
 			}
 			continue
 		}
-		lla := cfg.Attack.Next(cfg.Leveler.LogicalLines())
+		lla := cfg.Attack.Next(logicalLines)
 		u := cfg.Leveler.Translate(lla)
 		ok := e.WriteSlot(u)
 		userWrites++
 		if !ok {
-			break
+			return userWrites, false
 		}
 		if !cfg.Leveler.OnWrite(lla, e) {
-			break
+			return userWrites, false
 		}
 	}
-
-	return buildResult(cfg, dev, userWrites, e, interrupted), dev, nil
 }
 
 func buildResult(cfg Config, dev *device.Device, userWrites int64, e *engine, interrupted bool) Result {
@@ -264,18 +315,50 @@ type slotEvent struct {
 	line       int
 }
 
+// eventHeap is a hand-rolled binary min-heap of slotEvents keyed on
+// deathRound, replacing the earlier container/heap implementation whose
+// Push/Pop boxed every event in an interface{} allocation. The sift-up and
+// sift-down loops mirror container/heap's algorithm exactly — including
+// which of two equal-keyed events pops first, an order the schemes' state
+// (and therefore Result) depends on.
 type eventHeap []slotEvent
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].deathRound < h[j].deathRound }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(slotEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *eventHeap) push(ev slotEvent) {
+	s := append(*h, ev)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[i].deathRound <= s[j].deathRound {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() slotEvent {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].deathRound < s[j].deathRound {
+			j = j2
+		}
+		if s[i].deathRound <= s[j].deathRound {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	ev := s[n]
+	*h = s[:n]
+	return ev
 }
 
 // RunUAAFast computes the UAA lifetime (no wear leveling) by processing
@@ -294,43 +377,54 @@ func RunUAAFast(p *endurance.Profile, scheme spare.Scheme) (Result, error) {
 		return Result{}, errNilScheme
 	}
 
-	h := &eventHeap{}
-	lineSlot := make(map[int]int, scheme.UserLines())
-	worn := make(map[int]bool)
-	for u := 0; u < scheme.UserLines(); u++ {
+	// Dense slices replace the earlier map-based reverse maps: line ids are
+	// bounded by the profile, so lineSlot[line] (-1 = out of service) and
+	// worn[line] give allocation-free O(1) lookups in the event loop.
+	userLines := scheme.UserLines()
+	_, isPCD := scheme.(*spare.PCDScheme)
+	h := make(eventHeap, 0, userLines+1)
+	lineSlot := make([]int, p.Lines())
+	for i := range lineSlot {
+		lineSlot[i] = -1
+	}
+	worn := make([]bool, p.Lines())
+	for u := 0; u < userLines; u++ {
 		line := scheme.Access(u)
 		lineSlot[line] = u
-		heap.Push(h, slotEvent{deathRound: p.LineEndurance(line), line: line})
+		h.push(slotEvent{deathRound: p.LineEndurance(line), line: line})
 	}
 
 	var userWrites int64
 	var lastRound int64
 	failed := false
 	wornLines := 0
-	for h.Len() > 0 {
-		ev := heap.Pop(h).(slotEvent)
+	for len(h) > 0 {
+		ev := h.pop()
 		if worn[ev.line] {
 			continue
 		}
-		u, inService := lineSlot[ev.line]
-		if !inService {
+		u := lineSlot[ev.line]
+		if u < 0 { // not in service
 			continue
 		}
 		// Advance time: every round writes every in-service line once.
-		userWrites += (ev.deathRound - lastRound) * int64(scheme.UserLines())
+		userWrites += (ev.deathRound - lastRound) * int64(userLines)
 		lastRound = ev.deathRound
 		worn[ev.line] = true
 		wornLines++
-		delete(lineSlot, ev.line)
+		lineSlot[ev.line] = -1
 
 		if !scheme.OnWearOut(u) {
 			failed = true
 			break
 		}
-		if _, pcd := scheme.(*spare.PCDScheme); pcd {
+		if isPCD {
 			// PCD moved the former last slot's line into u and shrank; the
-			// reverse map entry for that line must follow it.
-			if u < scheme.UserLines() {
+			// reverse map entry for that line must follow it. When u itself
+			// was the last slot it simply fell off the end of the shrunk
+			// space and no binding moved.
+			userLines = scheme.UserLines()
+			if u < userLines {
 				lineSlot[scheme.Access(u)] = u
 			}
 			// Bindings of the other surviving slots are untouched, so no
@@ -339,7 +433,7 @@ func RunUAAFast(p *endurance.Profile, scheme spare.Scheme) (Result, error) {
 		}
 		newLine := scheme.Access(u)
 		lineSlot[newLine] = u
-		heap.Push(h, slotEvent{
+		h.push(slotEvent{
 			deathRound: lastRound + p.LineEndurance(newLine),
 			line:       newLine,
 		})

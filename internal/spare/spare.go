@@ -27,6 +27,26 @@ import (
 	"maxwe/internal/xrand"
 )
 
+// lineKey pairs a device line with its endurance so spare-pool
+// construction sorts precomputed keys instead of calling LineEndurance
+// inside the comparator.
+type lineKey struct {
+	endurance int64
+	line      int
+}
+
+// sortByEndurance orders keys by (endurance, line). The line id breaks
+// every tie, so the comparator is a total order and the unstable
+// sort.Slice yields the exact permutation the former sort.SliceStable did.
+func sortByEndurance(keys []lineKey) {
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].endurance != keys[b].endurance {
+			return keys[a].endurance < keys[b].endurance
+		}
+		return keys[a].line < keys[b].line
+	})
+}
+
 // Scheme is the contract between the simulator and a spare-line
 // replacement policy.
 type Scheme interface {
@@ -155,21 +175,19 @@ func NewPS(p *endurance.Profile, spareLines int, policy PSPolicy, src *xrand.Sou
 		perm := src.Perm(n)
 		spares = append(spares, perm[:spareLines]...)
 	case PSWorst, PSBest:
-		byEnd := make([]int, n)
-		for i := range byEnd {
-			byEnd[i] = i
+		keys := make([]lineKey, n)
+		for i := range keys {
+			keys[i] = lineKey{endurance: p.LineEndurance(i), line: i}
 		}
-		sort.SliceStable(byEnd, func(a, b int) bool {
-			ea, eb := p.LineEndurance(byEnd[a]), p.LineEndurance(byEnd[b])
-			if ea != eb {
-				return ea < eb
-			}
-			return byEnd[a] < byEnd[b]
-		})
+		sortByEndurance(keys)
 		if policy == PSWorst {
-			spares = append(spares, byEnd[n-spareLines:]...)
+			for _, k := range keys[n-spareLines:] {
+				spares = append(spares, k.line)
+			}
 		} else {
-			spares = append(spares, byEnd[:spareLines]...)
+			for _, k := range keys[:spareLines] {
+				spares = append(spares, k.line)
+			}
 		}
 	default:
 		panic("spare: unknown PS policy")
@@ -442,13 +460,15 @@ func NewMaxWE(p *endurance.Profile, opts MaxWEOptions) *MaxWEScheme {
 		}
 	}
 	if opts.StrongestSpareFirst {
-		sort.SliceStable(s.pool, func(a, b int) bool {
-			ea, eb := p.LineEndurance(s.pool[a]), p.LineEndurance(s.pool[b])
-			if ea != eb {
-				return ea < eb // weakest at front, strongest popped first
-			}
-			return s.pool[a] < s.pool[b]
-		})
+		// Weakest at the front so the strongest is popped first.
+		keys := make([]lineKey, len(s.pool))
+		for i, l := range s.pool {
+			keys[i] = lineKey{endurance: p.LineEndurance(l), line: l}
+		}
+		sortByEndurance(keys)
+		for i, k := range keys {
+			s.pool[i] = k.line
+		}
 	} else {
 		// Address order with the next allocation (end of slice) being the
 		// lowest address: reverse.
