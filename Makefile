@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify faults bench bench-smoke
+.PHONY: build test race vet lint verify faults bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -27,24 +27,30 @@ faults:
 	$(GO) run -race ./cmd/nvmsim -regions 128 -lines-per-region 8 -endurance 300 \
 		-fault-transient 0.01 -fault-stuckat 0.0005 -fault-metadata 0.0005 -fault-seed 7
 
-# bench regenerates BENCH_PR4.json: every figure/table bench, the sweep
-# supervisor at Parallelism 1 vs 0, and the UAA fast path against its
-# pre-optimization reference, parsed to JSON (with NumCPU/GOMAXPROCS
-# metadata) by cmd/benchjson. Two steps so a bench failure stops make
-# instead of vanishing into a pipe.
+# bench regenerates BENCH_PR5.json: every figure/table bench, the sweep
+# supervisor at Parallelism 1 vs 0, the UAA fast path against its
+# pre-optimization reference, and the nvmd submit round trip, parsed to
+# JSON (with NumCPU/GOMAXPROCS metadata) by cmd/benchjson. Two steps so a
+# bench failure stops make instead of vanishing into a pipe.
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(Fig|Table|Runner|UAAFast)' -benchmem \
-		. ./internal/sim/ > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR4.json < bench.out
+	$(GO) test -run '^$$' -bench '^Benchmark(Fig|Table|Runner|UAAFast|Service)' -benchmem \
+		. ./internal/sim/ ./internal/service/ > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR5.json < bench.out
 	@rm -f bench.out
 
 # bench-smoke runs every benchmark exactly once and checks the output
 # still parses — the CI guard that `make bench` cannot rot.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem \
-		. ./internal/sim/ > bench-smoke.out
+		. ./internal/sim/ ./internal/service/ > bench-smoke.out
 	$(GO) run ./cmd/benchjson -o /dev/null < bench-smoke.out
 	@rm -f bench-smoke.out
 
+# serve-smoke boots a real nvmd daemon on a random port, submits a tiny
+# Figure 7 grid through the CLI, polls it to completion, and checks the
+# daemon drains cleanly on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # verify is the tier-1 gate: everything CI runs, one command.
-verify: build vet test race lint faults bench-smoke
+verify: build vet test race lint faults bench-smoke serve-smoke

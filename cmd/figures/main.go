@@ -265,7 +265,7 @@ func reportSweep[T any](artifact string, rep runner.Report[T], total int, err er
 }
 
 func fig7(s experiments.Setup) {
-	percents := []int{0, 20, 60, 80, 90, 100}
+	percents := experiments.Fig7DefaultPercents()
 	total := len(percents) * len(experiments.WLNames())
 	rows, rep, err := experiments.Fig7Sweep(runCtx, sweepConfig("fig7", s), s, percents, experiments.WLNames())
 	reportSweep("fig7", rep, total, err)

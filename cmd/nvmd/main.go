@@ -1,0 +1,318 @@
+// Command nvmd is the long-running experiment daemon plus its client CLI.
+//
+//	nvmd serve   -data DIR [-addr HOST:PORT] [-job-workers N] [-queue N] [-port-file PATH]
+//	nvmd submit  -spec FILE|- [-addr URL] [-wait]
+//	nvmd status  -id JOB [-addr URL] [-partial]
+//	nvmd wait    -id JOB [-addr URL]
+//	nvmd cancel  -id JOB [-addr URL]
+//	nvmd result  -id JOB [-addr URL]
+//	nvmd metrics [-addr URL]
+//
+// serve runs until SIGINT/SIGTERM, then drains: running jobs are
+// interrupted (their checkpoints keep every completed cell) and resume on
+// the next start. submit reads a JSON JobSpec from a file or stdin and
+// prints the assigned job; with -wait it follows the event stream and
+// exits non-zero unless the job completes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"maxwe/internal/service"
+	"maxwe/internal/service/client"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "wait":
+		err = cmdWait(os.Args[2:])
+	case "cancel":
+		err = cmdCancel(os.Args[2:])
+	case "result":
+		err = cmdResult(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "nvmd: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvmd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: nvmd <command> [flags]
+
+commands:
+  serve    run the experiment daemon
+  submit   submit a job spec (JSON file or - for stdin)
+  status   show one job's status
+  wait     block until a job finishes
+  cancel   cancel a queued or running job
+  result   print a done job's result document
+  metrics  print the daemon's counters
+
+run "nvmd <command> -h" for that command's flags.
+`)
+}
+
+// cmdServe runs the daemon until SIGINT/SIGTERM, then drains the manager
+// and shuts the HTTP server down.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	data := fs.String("data", "", "durable job data directory (required)")
+	workers := fs.Int("job-workers", 2, "concurrent jobs")
+	queue := fs.Int("queue", 1024, "job queue depth")
+	portFile := fs.String("port-file", "", "write the bound address here once listening")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("serve: -data is required")
+	}
+
+	mgr, err := service.NewManager(service.Config{
+		DataDir:    *data,
+		JobWorkers: *workers,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		return err
+	}
+	mgr.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		mgr.Close()
+		return fmt.Errorf("serve: listen %s: %w", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+			_ = ln.Close()
+			mgr.Close()
+			return fmt.Errorf("serve: write port file: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nvmd: listening on %s (data %s)\n", bound, *data)
+
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "nvmd: %v — draining\n", sig)
+	case err := <-errc:
+		mgr.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Drain jobs first so their checkpoints are final, then let in-flight
+	// HTTP requests (event streams end when the manager drains) finish.
+	mgr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "nvmd: drained")
+	return nil
+}
+
+// cmdSubmit reads a JobSpec and submits it; with -wait it follows the job
+// to completion and fails unless the job is done.
+func cmdSubmit(args []string) error {
+	fs := newFlagSet("submit")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	spec := fs.String("spec", "", "JSON JobSpec file, or - for stdin (required)")
+	wait := fs.Bool("wait", false, "wait for the job to finish")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spec == "" {
+		return fmt.Errorf("submit: -spec is required")
+	}
+	var raw []byte
+	var err error
+	if *spec == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*spec)
+	}
+	if err != nil {
+		return fmt.Errorf("submit: read spec: %w", err)
+	}
+	var js service.JobSpec
+	if err := json.Unmarshal(raw, &js); err != nil {
+		return fmt.Errorf("submit: parse spec: %w", err)
+	}
+
+	c := client.New(*addr)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, js)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(st)
+	}
+	fmt.Fprintf(os.Stderr, "nvmd: submitted %s (%d cells), waiting\n", st.ID, st.CellsTotal)
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if err := printJSON(final); err != nil {
+		return err
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("submit: job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	return nil
+}
+
+// cmdStatus prints one job's status document.
+func cmdStatus(args []string) error {
+	fs := newFlagSet("status")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	id := fs.String("id", "", "job ID (required)")
+	partial := fs.Bool("partial", false, "include checkpointed partial results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("status: -id is required")
+	}
+	st, err := client.New(*addr).Status(context.Background(), *id, *partial)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+// cmdWait blocks until the job finishes and fails unless it is done.
+func cmdWait(args []string) error {
+	fs := newFlagSet("wait")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	id := fs.String("id", "", "job ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("wait: -id is required")
+	}
+	st, err := client.New(*addr).Wait(context.Background(), *id)
+	if err != nil {
+		return err
+	}
+	if err := printJSON(st); err != nil {
+		return err
+	}
+	if st.State != service.StateDone {
+		return fmt.Errorf("wait: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
+}
+
+// cmdCancel cancels a job.
+func cmdCancel(args []string) error {
+	fs := newFlagSet("cancel")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	id := fs.String("id", "", "job ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("cancel: -id is required")
+	}
+	st, err := client.New(*addr).Cancel(context.Background(), *id)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+// cmdResult prints a done job's result document, byte-exact as stored.
+func cmdResult(args []string) error {
+	fs := newFlagSet("result")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	id := fs.String("id", "", "job ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("result: -id is required")
+	}
+	raw, err := client.New(*addr).Result(context.Background(), *id)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(raw); err != nil {
+		return fmt.Errorf("result: write: %w", err)
+	}
+	return nil
+}
+
+// cmdMetrics prints the daemon's /metrics exposition.
+func cmdMetrics(args []string) error {
+	fs := newFlagSet("metrics")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	text, err := client.New(*addr).Metrics(context.Background())
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Print(text); err != nil {
+		return fmt.Errorf("metrics: write: %w", err)
+	}
+	return nil
+}
+
+// newFlagSet names a subcommand flag set consistently.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet("nvmd "+name, flag.ExitOnError)
+}
+
+// printJSON writes v as indented JSON on stdout.
+func printJSON(v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal output: %w", err)
+	}
+	if _, err := os.Stdout.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("write output: %w", err)
+	}
+	return nil
+}

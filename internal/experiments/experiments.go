@@ -60,6 +60,36 @@ const (
 	ProfileLogNormal
 )
 
+// String names the profile kind; the names round-trip through
+// ParseProfileKind.
+func (k ProfileKind) String() string {
+	switch k {
+	case ProfileLinear:
+		return "linear"
+	case ProfilePowerLaw:
+		return "power-law"
+	case ProfileLogNormal:
+		return "lognormal"
+	}
+	return fmt.Sprintf("profile(%d)", int(k))
+}
+
+// ParseProfileKind resolves a profile kind by name ("linear", "power-law",
+// "lognormal"); the empty string selects the paper's linear model. It is
+// the inverse of ProfileKind.String, for configuration surfaces (the nvmd
+// job API) that carry the kind as text.
+func ParseProfileKind(name string) (ProfileKind, error) {
+	switch name {
+	case "", "linear":
+		return ProfileLinear, nil
+	case "power-law":
+		return ProfilePowerLaw, nil
+	case "lognormal":
+		return ProfileLogNormal, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown profile kind %q", name)
+}
+
 // DefaultSetup returns the configuration the committed benchmark numbers
 // use: 512 regions x 32 lines, linear q=50 endurance, mean 2000 writes,
 // psi 32.
@@ -228,6 +258,11 @@ type Fig7Row struct {
 	SWRPercent int
 	Normalized float64
 }
+
+// Fig7DefaultPercents returns the paper's Figure 7 x axis — the SWR share
+// of the spare capacity, in percent — shared by cmd/figures and the nvmd
+// job defaults.
+func Fig7DefaultPercents() []int { return []int{0, 20, 60, 80, 90, 100} }
 
 // Fig7 sweeps the SWR share of the spare capacity under BPA for each
 // wear-leveling substrate, with the spare budget fixed at 10%. The

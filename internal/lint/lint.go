@@ -108,10 +108,12 @@ func DefaultConfig() *Config {
 		Exempt: map[string][]string{
 			// internal/runner is the experiment supervisor, not a
 			// simulation package: wall-clock cell deadlines and
-			// checkpoint file I/O are its job. internal/faultinject is
-			// deliberately NOT exempt — fault plans must stay
-			// deterministic like every other simulation input.
-			"nondeterminism": {"cmd/", "examples/", "internal/runner/"},
+			// checkpoint file I/O are its job. internal/service (and its
+			// client) is the HTTP daemon layer on top of it — goroutines,
+			// sync and wall-clock metrics are its job too. internal/
+			// faultinject is deliberately NOT exempt — fault plans must
+			// stay deterministic like every other simulation input.
+			"nondeterminism": {"cmd/", "examples/", "internal/runner/", "internal/service/"},
 			"panicmsg":       {"cmd/", "examples/"},
 			"exporteddoc":    {"cmd/", "examples/"},
 		},

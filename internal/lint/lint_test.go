@@ -100,13 +100,22 @@ func TestRunOnOwnPackage(t *testing.T) {
 }
 
 // TestConcurrencyExemptionScopedToRunner pins the policy that makes the
-// sync/goroutine ban sound: internal/runner (the worker pool) is the only
-// library path exempt from nondeterminism, and the simulation packages
-// stay covered.
+// sync/goroutine ban sound: internal/runner (the worker pool) and
+// internal/service (the HTTP daemon and its client, which multiplex that
+// pool across connections) are the only library paths exempt from
+// nondeterminism, and the simulation packages stay covered.
 func TestConcurrencyExemptionScopedToRunner(t *testing.T) {
 	cfg := DefaultConfig()
 	if !cfg.exempt("nondeterminism", "internal/runner/parallel.go") {
 		t.Error("internal/runner lost its nondeterminism exemption")
+	}
+	for _, f := range []string{
+		"internal/service/manager.go",
+		"internal/service/client/client.go",
+	} {
+		if !cfg.exempt("nondeterminism", f) {
+			t.Errorf("%s lost its nondeterminism exemption", f)
+		}
 	}
 	for _, f := range []string{
 		"internal/sim/sim.go",

@@ -166,6 +166,13 @@ type checkpoint struct {
 	Completed   map[string]json.RawMessage `json:"completed"`
 }
 
+// ErrCorruptCheckpoint marks a checkpoint file whose contents are not a
+// complete JSON checkpoint document — typically a file truncated by a
+// crash or written by something else entirely. Callers that own the file
+// (like the nvmd service) can detect it with errors.Is, quarantine the
+// file, and restart the sweep from scratch instead of failing forever.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
 func (c Config) validate() error {
 	if c.CellTimeout < 0 {
 		return errors.New("runner: Config.CellTimeout must be >= 0")
@@ -317,7 +324,11 @@ func loadCheckpoint(cfg Config) (checkpoint, error) {
 		return ckpt, fmt.Errorf("runner: read checkpoint: %w", err)
 	}
 	if err := json.Unmarshal(data, &ckpt); err != nil {
-		return ckpt, fmt.Errorf("runner: parse checkpoint %s: %w", cfg.CheckpointPath, err)
+		// Truncated or garbage contents (a crash mid-write of a non-atomic
+		// writer, a stray file): surface the file name and the sentinel so
+		// callers can quarantine it deliberately.
+		return ckpt, fmt.Errorf("runner: checkpoint %s is truncated or corrupt (%v): %w",
+			cfg.CheckpointPath, err, ErrCorruptCheckpoint)
 	}
 	if ckpt.Fingerprint != cfg.Fingerprint {
 		return ckpt, fmt.Errorf("runner: checkpoint %s belongs to sweep %q, want %q",

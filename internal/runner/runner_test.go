@@ -271,12 +271,38 @@ func TestCheckpointFingerprintMismatch(t *testing.T) {
 }
 
 func TestCorruptCheckpointRejected(t *testing.T) {
-	cfg := ckptConfig(t)
-	if err := os.WriteFile(cfg.CheckpointPath, []byte("{not json"), 0o644); err != nil {
+	// A valid checkpoint truncated mid-document simulates a writer killed
+	// mid-write (only a non-atomic writer can produce this; ours renames,
+	// but the file may come from anywhere). Every corruption flavor must
+	// surface ErrCorruptCheckpoint and name the offending file so the
+	// caller can quarantine it.
+	valid := ckptConfig(t)
+	if _, err := Run(context.Background(), valid, sweep(3)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(context.Background(), cfg, sweep(1)); err == nil {
-		t.Fatal("corrupt checkpoint accepted")
+	whole, err := os.ReadFile(valid.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, contents := range map[string][]byte{
+		"garbage":   []byte("{not json"),
+		"empty":     {},
+		"truncated": whole[:len(whole)/2],
+	} {
+		cfg := ckptConfig(t)
+		if err := os.WriteFile(cfg.CheckpointPath, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Run(context.Background(), cfg, sweep(1))
+		if err == nil {
+			t.Fatalf("%s checkpoint accepted", name)
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("%s checkpoint error %v does not wrap ErrCorruptCheckpoint", name, err)
+		}
+		if !strings.Contains(err.Error(), cfg.CheckpointPath) {
+			t.Fatalf("%s checkpoint error %v does not name the file", name, err)
+		}
 	}
 }
 

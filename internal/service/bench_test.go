@@ -1,0 +1,61 @@
+package service_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"maxwe"
+	"maxwe/internal/service"
+	"maxwe/internal/service/client"
+)
+
+// BenchmarkServiceSubmitThroughput measures a full job round trip through
+// the HTTP API: submit a one-cell job, wait for completion, fetch the
+// result. The cell itself is tiny (100 user writes), so the number is
+// dominated by service overhead — queueing, checkpointing, persistence
+// and the event stream — not by simulation time.
+func BenchmarkServiceSubmitThroughput(b *testing.B) {
+	m, err := service.NewManager(service.Config{DataDir: b.TempDir(), JobWorkers: 2})
+	if err != nil {
+		b.Fatalf("NewManager: %v", err)
+	}
+	m.Start()
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+
+	spec := service.JobSpec{
+		Kind: service.KindCells,
+		Cells: []service.CellSpec{{
+			Key: "bench",
+			Config: maxwe.Config{
+				Regions: 8, LinesPerRegion: 4, MeanEndurance: 50,
+				VariationQ: 2, LinearProfile: true,
+				Scheme: "none", Attack: "uaa", Psi: 32,
+				MaxUserWrites: 100, Seed: 1,
+			},
+		}},
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			b.Fatalf("Submit: %v", err)
+		}
+		final, err := c.Wait(ctx, st.ID)
+		if err != nil {
+			b.Fatalf("Wait: %v", err)
+		}
+		if final.State != service.StateDone {
+			b.Fatalf("job ended %s: %s", final.State, final.Error)
+		}
+		if _, err := c.Result(ctx, st.ID); err != nil {
+			b.Fatalf("Result: %v", err)
+		}
+	}
+}

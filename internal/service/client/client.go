@@ -1,0 +1,234 @@
+// Package client is the thin Go client for the nvmd HTTP API. It
+// round-trips exactly the JSON documents internal/service serves —
+// JobSpec in, JobStatus/Event/result bytes out — and adds the one
+// convenience a CLI needs: Wait, which follows the event stream to a
+// terminal state and falls back to polling if the stream breaks (for
+// example across a daemon restart).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"maxwe/internal/service"
+)
+
+// Client talks to one nvmd daemon.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil selects http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is the {"error": "..."} body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// do issues one request and decodes a 2xx JSON body into out (skipped
+// when out is nil). Non-2xx responses become errors carrying the server's
+// message and status code.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reqBody io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		reqBody = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reqBody)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: read %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if rawOut, ok := out.(*[]byte); ok {
+		*rawOut = raw
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit submits a job and returns its initial status (including the
+// assigned ID).
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches a job's live status. With partial set, the completed
+// cell values checkpointed so far are included.
+func (c *Client) Status(ctx context.Context, id string, partial bool) (service.JobStatus, error) {
+	path := "/v1/jobs/" + id
+	if partial {
+		path += "?partial=1"
+	}
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job on the daemon.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Result fetches the final result document of a done job — the exact
+// bytes the daemon persisted.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw)
+	return raw, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Metrics fetches the /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw)
+	return string(raw), err
+}
+
+// Healthz probes the daemon.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Events streams the job's NDJSON progress events, calling fn for each
+// one until the stream ends (terminal job state), fn returns an error, or
+// ctx is canceled. Returning io.EOF from fn stops the stream cleanly.
+func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("client: build events request: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: events %s: %w", id, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("client: events %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: events %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("client: decode event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: events %s stream: %w", id, err)
+	}
+	return nil
+}
+
+// WaitPollInterval is the fallback polling cadence Wait uses when the
+// event stream is unavailable (e.g. the daemon restarted mid-wait).
+const WaitPollInterval = 200 * time.Millisecond
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final status. It prefers the event stream (no polling) and degrades to
+// polling when the stream breaks, so it survives a daemon restart
+// mid-job.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id, false)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		// Follow the stream until it ends; errors here mean the daemon
+		// went away mid-stream, which polling absorbs.
+		_ = c.Events(ctx, id, func(ev service.Event) error {
+			if ev.Type == "state" && ev.State.Terminal() {
+				return io.EOF
+			}
+			return nil
+		})
+		if err := ctx.Err(); err != nil {
+			return service.JobStatus{}, fmt.Errorf("client: wait %s: %w", id, err)
+		}
+		st, err = c.Status(ctx, id, false)
+		if err == nil && st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return service.JobStatus{}, fmt.Errorf("client: wait %s: %w", id, ctx.Err())
+		case <-time.After(WaitPollInterval):
+		}
+	}
+}

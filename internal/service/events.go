@@ -1,0 +1,88 @@
+// events.go is the per-job progress fan-out: every state change of a job
+// and every runner cell event is appended to an in-memory log that any
+// number of NDJSON subscribers replay from the start and then follow
+// live. The log is append-only and broadcast with a closed-channel wake,
+// so slow readers never block the job and a reader that connects late
+// still sees the full history of the current daemon lifetime.
+package service
+
+import "sync"
+
+// Event is one progress record on a job's event stream, serialized as one
+// NDJSON line by GET /v1/jobs/{id}/events.
+type Event struct {
+	// Seq numbers events within the job, from 0, with no gaps.
+	Seq int `json:"seq"`
+	// Job is the job ID the event belongs to.
+	Job string `json:"job"`
+	// Type is "state" for job lifecycle transitions, "cell" for sweep
+	// cell progress, and "checkpoint" for checkpoint-maintenance notices
+	// (e.g. a corrupt file quarantined on resume).
+	Type string `json:"type"`
+	// State carries the new job state for "state" events.
+	State State `json:"state,omitempty"`
+	// Cell names the sweep cell for "cell" events.
+	Cell string `json:"cell,omitempty"`
+	// Status is the cell transition: "start", "done", "retry", "failed"
+	// or "cached" (satisfied from a checkpoint on resume).
+	Status string `json:"status,omitempty"`
+	// Attempt is the 1-based attempt number for cell events (0 for
+	// "cached").
+	Attempt int `json:"attempt,omitempty"`
+	// Error carries the failure message of "retry"/"failed" cell events
+	// and of terminal "failed" state events.
+	Error string `json:"error,omitempty"`
+	// CellsDone and CellsTotal snapshot the job's progress counters at
+	// the time of the event.
+	CellsDone  int `json:"cells_done"`
+	CellsTotal int `json:"cells_total"`
+}
+
+// eventLog is an append-only broadcast log of one job's events.
+type eventLog struct {
+	mu sync.Mutex
+	// events holds the full history for the current daemon lifetime.
+	events []Event
+	// terminal is set once the job reached a final state: subscribers
+	// drain the history and stop instead of waiting for more.
+	terminal bool
+	// wake is closed (and replaced) on every append so blocked
+	// subscribers re-check the log.
+	wake chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append stamps the next sequence number on ev and wakes subscribers.
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev.Seq = len(l.events)
+	l.events = append(l.events, ev)
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// finish marks the stream complete. Subscribers that drained the history
+// return instead of blocking.
+func (l *eventLog) finish() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.terminal = true
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// since returns the events from index from onward, whether the stream is
+// complete, and a channel that closes on the next append — the subscriber
+// loop: emit evs; if terminal and none pending, stop; else wait on wake.
+func (l *eventLog) since(from int) (evs []Event, terminal bool, wake <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.events) {
+		evs = l.events[from:]
+	}
+	return evs, l.terminal, l.wake
+}

@@ -1,0 +1,142 @@
+// metrics.go aggregates service-wide counters for GET /metrics: job and
+// cell lifecycle totals, sweep throughput (cells/sec since daemon start)
+// and the fault-injection counters accumulated from completed custom
+// cells. The exposition format is the flat "name value" text form
+// Prometheus-style scrapers ingest.
+package service
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"maxwe/internal/faultinject"
+	"maxwe/internal/runner"
+)
+
+// Metrics is the daemon-wide counter set. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu    sync.Mutex
+	start time.Time
+
+	jobsSubmitted int64
+	jobsDone      int64
+	jobsFailed    int64
+	jobsCanceled  int64
+
+	cellsCompleted int64
+	cellsResumed   int64
+	cellsFailed    int64
+	cellRetries    int64
+
+	faults faultinject.Counters
+}
+
+// NewMetrics creates a counter set anchored at the current time (the
+// denominator of the cells/sec gauge).
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// onCellEvent folds one sweep progress event into the cell counters.
+func (m *Metrics) onCellEvent(ev runner.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Status {
+	case runner.StatusDone:
+		m.cellsCompleted++
+	case runner.StatusCached:
+		m.cellsCompleted++
+		m.cellsResumed++
+	case runner.StatusFailed:
+		m.cellsFailed++
+	case runner.StatusRetry:
+		m.cellRetries++
+	}
+}
+
+// onSubmit counts one accepted job.
+func (m *Metrics) onSubmit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsSubmitted++
+}
+
+// onTerminal counts one job reaching a terminal state.
+func (m *Metrics) onTerminal(s State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch s {
+	case StateDone:
+		m.jobsDone++
+	case StateFailed:
+		m.jobsFailed++
+	case StateCanceled:
+		m.jobsCanceled++
+	}
+}
+
+// addFaults folds the fault counters of one completed simulation result
+// into the daemon totals.
+func (m *Metrics) addFaults(c faultinject.Counters) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults.TransientFaults += c.TransientFaults
+	m.faults.Retries += c.Retries
+	m.faults.BackoffUnits += c.BackoffUnits
+	m.faults.Escalations += c.Escalations
+	m.faults.StuckAtFaults += c.StuckAtFaults
+	m.faults.MetadataFaults += c.MetadataFaults
+	m.faults.MetadataRepairs += c.MetadataRepairs
+}
+
+// write renders the counters plus the caller-supplied queue gauges in
+// exposition order.
+func (m *Metrics) write(w io.Writer, queued, running int) error {
+	m.mu.Lock()
+	uptime := time.Since(m.start).Seconds()
+	cellsPerSec := 0.0
+	if uptime > 0 {
+		cellsPerSec = float64(m.cellsCompleted) / uptime
+	}
+	lines := []struct {
+		name  string
+		value string
+	}{
+		{"nvmd_jobs_queued", fmt.Sprint(queued)},
+		{"nvmd_jobs_running", fmt.Sprint(running)},
+		{"nvmd_jobs_submitted_total", fmt.Sprint(m.jobsSubmitted)},
+		{"nvmd_jobs_done_total", fmt.Sprint(m.jobsDone)},
+		{"nvmd_jobs_failed_total", fmt.Sprint(m.jobsFailed)},
+		{"nvmd_jobs_canceled_total", fmt.Sprint(m.jobsCanceled)},
+		{"nvmd_cells_completed_total", fmt.Sprint(m.cellsCompleted)},
+		{"nvmd_cells_resumed_total", fmt.Sprint(m.cellsResumed)},
+		{"nvmd_cells_failed_total", fmt.Sprint(m.cellsFailed)},
+		{"nvmd_cell_retries_total", fmt.Sprint(m.cellRetries)},
+		{"nvmd_cells_per_second", fmt.Sprintf("%.6g", cellsPerSec)},
+		{"nvmd_fault_transient_total", fmt.Sprint(m.faults.TransientFaults)},
+		{"nvmd_fault_retries_total", fmt.Sprint(m.faults.Retries)},
+		{"nvmd_fault_backoff_units_total", fmt.Sprint(m.faults.BackoffUnits)},
+		{"nvmd_fault_escalations_total", fmt.Sprint(m.faults.Escalations)},
+		{"nvmd_fault_stuckat_total", fmt.Sprint(m.faults.StuckAtFaults)},
+		{"nvmd_fault_metadata_total", fmt.Sprint(m.faults.MetadataFaults)},
+		{"nvmd_fault_metadata_repairs_total", fmt.Sprint(m.faults.MetadataRepairs)},
+		{"nvmd_uptime_seconds", fmt.Sprintf("%.3f", uptime)},
+	}
+	m.mu.Unlock()
+
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l.name)
+		b.WriteByte(' ')
+		b.WriteString(l.value)
+		b.WriteByte('\n')
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("service: write metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// server.go is the HTTP face of the manager: a pure-stdlib net/http mux
+// implementing the v1 job API. Endpoints:
+//
+//	POST   /v1/jobs              submit a JobSpec, returns JobStatus (201)
+//	GET    /v1/jobs              list every job's status
+//	GET    /v1/jobs/{id}         status (+ ?partial=1 for checkpointed cells)
+//	GET    /v1/jobs/{id}/events  NDJSON progress stream, history then live
+//	GET    /v1/jobs/{id}/result  final result document (exact stored bytes)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /metrics              counter exposition (text)
+//	GET    /healthz              liveness probe
+//
+// Errors are JSON objects {"error": "..."} with conventional status codes
+// (400 invalid spec, 404 unknown job, 409 wrong state, 503 queue full or
+// draining).
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// MaxSpecBytes bounds the request body of POST /v1/jobs; a spec larger
+// than this is rejected rather than buffered.
+const MaxSpecBytes = 8 << 20
+
+// NewHandler returns the HTTP API over m.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: decode spec: %w", err))
+			return
+		}
+		st, err := m.Submit(spec)
+		if err != nil {
+			writeError(w, submitCode(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Status(r.PathValue("id"), r.URL.Query().Get("partial") != "")
+		if err != nil {
+			writeError(w, errCode(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		log, err := m.Events(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errCode(err), err)
+			return
+		}
+		streamEvents(w, r, m, log)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := m.Result(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errCode(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(raw); err != nil {
+			return // client went away mid-body; nothing to repair
+		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errCode(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		text, err := m.MetricsSnapshot()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := fmt.Fprint(w, text); err != nil {
+			return // client went away
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// streamEvents writes the job's event history as NDJSON, flushing per
+// line, then follows the log live until the job reaches a terminal state,
+// the client disconnects, or the daemon drains.
+func streamEvents(w http.ResponseWriter, r *http.Request, m *Manager, log *eventLog) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, terminal, wake := log.since(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-m.Done():
+			return
+		}
+	}
+}
+
+// writeJSON emits v as an indented JSON body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: marshal response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(append(raw, '\n')); err != nil {
+		return // client went away mid-body
+	}
+}
+
+// writeError emits the canonical error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body := map[string]string{"error": err.Error()}
+	raw, mErr := json.Marshal(body)
+	if mErr != nil {
+		// A map of two strings always marshals.
+		panic(fmt.Errorf("service: marshal error body: %w", mErr))
+	}
+	if _, err := w.Write(append(raw, '\n')); err != nil {
+		return // client went away
+	}
+}
+
+// errCode maps manager errors to HTTP status codes.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotFinished), errors.Is(err, ErrTerminal):
+		return http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// submitCode maps Submit errors: backlog and drain are 503, anything else
+// is an invalid spec.
+func submitCode(err error) int {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,422 @@
+// Integration tests for the nvmd service: client/handler round trip over
+// httptest, cancellation mid-job, the restart-resume byte-identity
+// guarantee, and corrupt-checkpoint quarantine.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"maxwe"
+	"maxwe/internal/service"
+	"maxwe/internal/service/client"
+)
+
+// newManager builds a started manager over a fresh temp data dir.
+func newManager(t *testing.T, dir string, workers int) *service.Manager {
+	t.Helper()
+	m, err := service.NewManager(service.Config{DataDir: dir, JobWorkers: workers})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+// tinyFig7 is a seconds-scale Figure 7 grid: 2 percents x 1 leveler.
+func tinyFig7() service.JobSpec {
+	return service.JobSpec{
+		Kind: service.KindFig7,
+		Setup: &service.SetupSpec{
+			Regions: 64, LinesPerRegion: 8, MeanEndurance: 200,
+		},
+		SWRPercents: []int{0, 90},
+		WLs:         []string{"tlsr"},
+		Parallelism: 2,
+	}
+}
+
+// boundedCell builds one custom cell that runs exactly writes user writes
+// on a device too strong to fail first, so its duration is predictable.
+func boundedCell(key string, writes int64) service.CellSpec {
+	return service.CellSpec{
+		Key: key,
+		Config: maxwe.Config{
+			Regions: 64, LinesPerRegion: 16, MeanEndurance: 1e9,
+			VariationQ: 2, LinearProfile: true,
+			Scheme: "none", Attack: "uaa", Psi: 32,
+			MaxUserWrites: writes, Seed: 7,
+		},
+	}
+}
+
+// waitState polls until the job reaches a terminal state or the deadline.
+func waitState(t *testing.T, m *service.Manager, id string) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := m.Status(id, false)
+		if err != nil {
+			t.Fatalf("Status(%s): %v", id, err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return service.JobStatus{}
+}
+
+// TestHTTPRoundTrip drives submit -> events -> status -> result -> cancel
+// errors -> metrics entirely through the HTTP API and the thin client.
+func TestHTTPRoundTrip(t *testing.T) {
+	m := newManager(t, t.TempDir(), 2)
+	m.Start()
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+
+	st, err := c.Submit(ctx, tinyFig7())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID == "" || st.CellsTotal != 2 {
+		t.Fatalf("submit status = %+v, want id and 2 cells", st)
+	}
+
+	// The event stream must replay history and follow to the terminal
+	// state, with contiguous sequence numbers.
+	var events []service.Event
+	err = c.Events(ctx, st.ID, func(ev service.Event) error {
+		events = append(events, ev)
+		if ev.Type == "state" && ev.State.Terminal() {
+			return io.EOF
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("event stream was empty")
+	}
+	doneCells := 0
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d, want contiguous", i, ev.Seq)
+		}
+		if ev.Type == "cell" && ev.Status == "done" {
+			doneCells++
+		}
+	}
+	if doneCells != 2 {
+		t.Fatalf("saw %d done cell events, want 2", doneCells)
+	}
+	last := events[len(events)-1]
+	if last.State != service.StateDone {
+		t.Fatalf("final event state = %s, want done", last.State)
+	}
+
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != service.StateDone || final.CellsDone != 2 {
+		t.Fatalf("final status = %+v, want done with 2 cells", final)
+	}
+
+	raw, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	var res service.JobResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result does not parse: %v", err)
+	}
+	if res.ID != st.ID || res.Kind != service.KindFig7 || len(res.Fig7) != 2 {
+		t.Fatalf("result = id %s kind %s rows %d, want %s fig7 2", res.ID, res.Kind, len(res.Fig7), st.ID)
+	}
+	if !strings.Contains(res.Table, "Figure 7") || res.CSV == "" {
+		t.Fatal("result is missing its report renderings")
+	}
+
+	// A finished job cannot be canceled (409) and unknown jobs are 404.
+	if _, err := c.Cancel(ctx, st.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("Cancel(done) = %v, want HTTP 409", err)
+	}
+	if _, err := c.Status(ctx, "job-999999", false); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Status(unknown) = %v, want HTTP 404", err)
+	}
+	if _, err := c.Submit(ctx, service.JobSpec{Kind: "nope"}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("Submit(bad kind) = %v, want HTTP 400", err)
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("Jobs = %v (%v), want the one job", jobs, err)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"nvmd_jobs_submitted_total 1",
+		"nvmd_jobs_done_total 1",
+		"nvmd_cells_completed_total 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestCancelMidJob cancels a running unbounded cell through the API and
+// verifies the job lands in canceled with no result available.
+func TestCancelMidJob(t *testing.T) {
+	dir := t.TempDir()
+	m := newManager(t, dir, 1)
+	m.Start()
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+
+	// MaxUserWrites 0 on an unkillable device: runs until interrupted.
+	spec := service.JobSpec{
+		Kind:  service.KindCells,
+		Cells: []service.CellSpec{boundedCell("forever", 0)},
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Follow events until the cell actually starts, then cancel.
+	err = c.Events(ctx, st.ID, func(ev service.Event) error {
+		if ev.Type == "cell" && ev.Status == "start" {
+			return io.EOF
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != service.StateCanceled {
+		t.Fatalf("state = %s, want canceled", final.State)
+	}
+	if _, err := c.Result(ctx, st.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("Result(canceled) = %v, want HTTP 409", err)
+	}
+
+	// The cancellation must be durable: a fresh manager over the same
+	// data dir must not re-run the job.
+	m.Close()
+	srv.Close()
+	m2 := newManager(t, dir, 1)
+	defer m2.Close()
+	st2, err := m2.Status(st.ID, false)
+	if err != nil {
+		t.Fatalf("Status after reload: %v", err)
+	}
+	if st2.State != service.StateCanceled {
+		t.Fatalf("reloaded state = %s, want canceled", st2.State)
+	}
+}
+
+// TestRestartResumeByteIdentical is the PR's core guarantee: a daemon
+// killed mid-sweep resumes the job from its checkpoint on restart and the
+// final result document is byte-identical to an uninterrupted run.
+func TestRestartResumeByteIdentical(t *testing.T) {
+	spec := service.JobSpec{
+		Kind: service.KindCells,
+		Cells: []service.CellSpec{
+			boundedCell("fast", 100_000),     // ~1ms: done before the drain
+			boundedCell("slow-a", 6_000_000), // ~40ms each: drained mid-flight
+			boundedCell("slow-b", 6_000_000),
+			boundedCell("slow-c", 6_000_000),
+		},
+		Parallelism: 1,
+	}
+
+	// Reference: the same spec run uninterrupted.
+	ref := newManager(t, t.TempDir(), 1)
+	defer ref.Close()
+	ref.Start()
+	refSt, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit(ref): %v", err)
+	}
+	if st := waitState(t, ref, refSt.ID); st.State != service.StateDone {
+		t.Fatalf("reference job ended %s: %s", st.State, st.Error)
+	}
+	want, err := ref.Result(refSt.ID)
+	if err != nil {
+		t.Fatalf("Result(ref): %v", err)
+	}
+
+	// Interrupted run: drain the daemon once the first cell is
+	// checkpointed, while the slow cells are still outstanding.
+	dir := t.TempDir()
+	m1 := newManager(t, dir, 1)
+	m1.Start()
+	st1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ckpt := filepath.Join(dir, st1.ID+".ckpt.json")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("first cell never reached the checkpoint")
+		}
+		st, err := m1.Status(st1.ID, false)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job finished (%s) before the drain; slow cells too fast", st.State)
+		}
+		if _, statErr := os.Stat(ckpt); st.CellsDone >= 1 && statErr == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m1.Close() // SIGTERM equivalent: drain, keep the checkpoint
+
+	st, err := m1.Status(st1.ID, false)
+	if err != nil {
+		t.Fatalf("Status after drain: %v", err)
+	}
+	if st.State != service.StateQueued {
+		t.Fatalf("drained job state = %s, want queued (resumable)", st.State)
+	}
+
+	// Restart over the same data dir: the job re-queues, replays the
+	// checkpointed cells, and completes.
+	m2 := newManager(t, dir, 1)
+	defer m2.Close()
+	m2.Start()
+	final := waitState(t, m2, st1.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("resumed job ended %s: %s", final.State, final.Error)
+	}
+	if final.Resumed == 0 {
+		t.Fatal("resumed job recomputed every cell; expected checkpoint hits")
+	}
+	got, err := m2.Result(st1.ID)
+	if err != nil {
+		t.Fatalf("Result(resumed): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestCorruptCheckpointQuarantine verifies the daemon survives a mangled
+// checkpoint: the file is quarantined and the sweep restarts from scratch.
+func TestCorruptCheckpointQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	m := newManager(t, dir, 1)
+	defer m.Close()
+
+	// Submit before Start so the checkpoint can be corrupted before any
+	// worker touches the job.
+	st, err := m.Submit(service.JobSpec{
+		Kind:  service.KindCells,
+		Cells: []service.CellSpec{boundedCell("only", 100_000)},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ckpt := filepath.Join(dir, st.ID+".ckpt.json")
+	if err := os.WriteFile(ckpt, []byte("{this is not a checkpoint"), 0o644); err != nil {
+		t.Fatalf("plant corrupt checkpoint: %v", err)
+	}
+
+	m.Start()
+	final := waitState(t, m, st.ID)
+	if final.State != service.StateDone {
+		t.Fatalf("job ended %s (%s), want done after quarantine", final.State, final.Error)
+	}
+	if _, err := os.Stat(ckpt + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+// TestPartialResults checks GET /v1/jobs/{id}?partial=1 exposes the
+// checkpointed cells of a finished job's sibling mid-run and, trivially,
+// that a done job serves no stale partial map after checkpoint cleanup.
+func TestPartialResults(t *testing.T) {
+	m := newManager(t, t.TempDir(), 1)
+	m.Start()
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+
+	spec := service.JobSpec{
+		Kind: service.KindCells,
+		Cells: []service.CellSpec{
+			boundedCell("fast", 100_000),
+			boundedCell("slow", 0), // runs until canceled
+		},
+		Parallelism: 1,
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Once the fast cell is done it is in the checkpoint; partial status
+	// must carry it while the slow cell still runs.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("fast cell never showed up in partial results")
+		}
+		got, err := c.Status(ctx, st.ID, true)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if _, ok := got.Partial["fast"]; ok {
+			var res maxwe.Result
+			if err := json.Unmarshal(got.Partial["fast"], &res); err != nil {
+				t.Fatalf("partial cell value does not parse: %v", err)
+			}
+			if res.UserWrites != 100_000 {
+				t.Fatalf("partial cell UserWrites = %d, want 100000", res.UserWrites)
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeDefaultsAndValidation(t *testing.T) {
+	// A bare fig7 spec inherits the paper's full grid.
+	norm, err := JobSpec{Kind: KindFig7}.normalize()
+	if err != nil {
+		t.Fatalf("normalize(fig7): %v", err)
+	}
+	if len(norm.SWRPercents) != 6 || len(norm.WLs) != 4 {
+		t.Fatalf("fig7 defaults = %d percents x %d wls, want 6x4", len(norm.SWRPercents), len(norm.WLs))
+	}
+	if norm.cellCount() != 24 {
+		t.Fatalf("fig7 cellCount = %d, want 24", norm.cellCount())
+	}
+
+	bad := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"unknown kind", JobSpec{Kind: "fig9"}, "unknown job kind"},
+		{"percent range", JobSpec{Kind: KindFig7, SWRPercents: []int{101}}, "out of [0, 100]"},
+		{"dup wl", JobSpec{Kind: KindFig7, WLs: []string{"tlsr", "tlsr"}}, "duplicate wear leveler"},
+		{"no cells", JobSpec{Kind: KindCells}, "at least one cell"},
+		{"empty key", JobSpec{Kind: KindCells, Cells: []CellSpec{{}}}, "empty key"},
+		{"dup key", JobSpec{Kind: KindCells, Cells: []CellSpec{{Key: "a"}, {Key: "a"}}}, "duplicate cell key"},
+		{"neg parallelism", JobSpec{Kind: KindFig8, Parallelism: -1}, "parallelism"},
+		{"bad setup", JobSpec{Kind: KindFig8, Setup: &SetupSpec{VariationQ: 0.5}}, "variation q"},
+		{"bad profile", JobSpec{Kind: KindFig8, Setup: &SetupSpec{Profile: "cauchy"}}, "profile"},
+	}
+	for _, tc := range bad {
+		if _, err := tc.spec.normalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: normalize() err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFingerprintIgnoresRunnerPolicy(t *testing.T) {
+	base, err := JobSpec{Kind: KindFig7}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := base
+	tuned.Parallelism, tuned.Retries, tuned.CellTimeoutMS = 8, 3, 5000
+	if base.fingerprint() != tuned.fingerprint() {
+		t.Fatal("fingerprint changed with runner policy; resumed jobs could not reuse their checkpoints")
+	}
+	smaller := base
+	smaller.Setup = &SetupSpec{Regions: 64}
+	smaller, err = smaller.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.fingerprint() == smaller.fingerprint() {
+		t.Fatal("fingerprint ignored an experiment-shaping field")
+	}
+	if !strings.HasPrefix(base.fingerprint(), "nvmd/v1/fig7/") {
+		t.Fatalf("fingerprint %q is missing its version prefix", base.fingerprint())
+	}
+}

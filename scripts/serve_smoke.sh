@@ -1,0 +1,78 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the nvmd daemon.
+#
+# Boots nvmd on a random port with a throwaway data directory, submits a
+# tiny Figure 7 grid through the CLI (spec on stdin), waits for the job to
+# complete, checks the metrics endpoint counted it, then SIGTERMs the
+# daemon and asserts it drains with exit status 0.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+nvmd_pid=""
+
+cleanup() {
+    if [ -n "$nvmd_pid" ] && kill -0 "$nvmd_pid" 2>/dev/null; then
+        kill -KILL "$nvmd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building nvmd"
+$GO build -o "$tmp/nvmd" ./cmd/nvmd
+
+echo "serve-smoke: starting daemon"
+"$tmp/nvmd" serve -addr 127.0.0.1:0 -data "$tmp/data" \
+    -port-file "$tmp/port" 2>"$tmp/serve.log" &
+nvmd_pid=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$tmp/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never wrote its port file" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$nvmd_pid" 2>/dev/null; then
+        echo "serve-smoke: daemon exited early" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="http://$(cat "$tmp/port")"
+echo "serve-smoke: daemon at $addr"
+
+echo "serve-smoke: submitting tiny fig7 grid"
+cat >"$tmp/spec.json" <<'EOF'
+{
+  "kind": "fig7",
+  "setup": {"regions": 64, "lines_per_region": 8, "mean_endurance": 200},
+  "swr_percents": [0, 90],
+  "wls": ["tlsr"],
+  "parallelism": 2
+}
+EOF
+"$tmp/nvmd" submit -addr "$addr" -spec "$tmp/spec.json" -wait >"$tmp/final.json"
+grep -q '"state": "done"' "$tmp/final.json"
+
+echo "serve-smoke: checking metrics"
+"$tmp/nvmd" metrics -addr "$addr" >"$tmp/metrics.txt"
+grep -q '^nvmd_jobs_done_total 1$' "$tmp/metrics.txt"
+grep -q '^nvmd_cells_completed_total 2$' "$tmp/metrics.txt"
+
+echo "serve-smoke: draining daemon (SIGTERM)"
+kill -TERM "$nvmd_pid"
+rc=0
+wait "$nvmd_pid" || rc=$?
+nvmd_pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: daemon exited $rc, want 0" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK"
