@@ -186,7 +186,7 @@ func fig1(s experiments.Setup) {
 		Profile: p, Scheme: spare.NewNone(p.Lines()), Attack: attack.NewUAA(),
 	})
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("main: fig1 simulation: %v", err))
 	}
 	t := report.NewTable("Figure 1 — ideal vs UAA lifetime (linear model)", "quantity", "value")
 	t.AddRow("analytic L_UAA/L_ideal (Eq 5)", par.UAARatio())

@@ -1,5 +1,5 @@
 // Command maxwelint is the repository's static-analysis gate. It walks
-// the requested packages (default ./...) and applies the repo-specific
+// the requested packages (default ./...) and applies the type-aware
 // analyzers from internal/lint:
 //
 //	nondeterminism  no math/rand, wall clock, or environment reads in
@@ -9,23 +9,43 @@
 //	panicmsg        panic messages carry the "pkg: " prefix
 //	exporteddoc     exported identifiers carry doc comments
 //	errdrop         error results are handled or explicitly discarded
+//	dettaint        no map-iteration-, clock- or randomness-derived
+//	                values flowing into json/gob/xml serialization
+//	ctxprop         blocking channel ops and Waits in goroutine-spawning
+//	                packages are selectable on a reaching context
+//	mutexblocking   no channel ops, HTTP, file I/O or sleeps while a
+//	                sync.Mutex/RWMutex is held
+//	jsonschema      explicit json tags on every field reachable from the
+//	                marshal roots, pinned to a golden schema file
+//
+// There are no directory-level waivers; findings are silenced only by a
+// line-level //lint:allow <rule> "reason" directive whose reason is
+// mandatory.
 //
 // Each finding prints as "file:line: [rule] message" with the file
-// relative to the module root. The exit status is 0 when the tree is
-// clean, 1 when there are findings, and 2 on usage or load errors.
+// relative to the module root; -json prints one JSON object per finding
+// instead, and -github appends GitHub Actions ::error annotations so CI
+// findings surface inline on the pull-request diff. The exit status is 0
+// when the tree is clean, 1 when there are findings, and 2 on usage or
+// load errors.
+//
+// -write-schema regenerates the golden schema files the jsonschema rule
+// pins (see `make lint-schema`) instead of linting.
 //
 // Usage:
 //
-//	maxwelint [-rules list] [-disable list] [-exempt rule=prefix,...] [packages]
+//	maxwelint [-rules list] [-disable list] [-exempt rule=prefix,...] [-json] [-github] [packages]
+//	maxwelint -write-schema
 //
 // Examples:
 //
 //	maxwelint ./...
 //	maxwelint -rules floatcmp,errdrop ./internal/...
-//	maxwelint -exempt exporteddoc=internal/experiments/ ./...
+//	maxwelint -json ./... | jq .rule
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,12 +64,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("maxwelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		rules   = fs.String("rules", "", "comma-separated rules to enable (default: all)")
-		disable = fs.String("disable", "", "comma-separated rules to disable")
-		exempts multiFlag
-		list    = fs.Bool("list", false, "list available rules and exit")
+		rules       = fs.String("rules", "", "comma-separated rules to enable (default: all)")
+		disable     = fs.String("disable", "", "comma-separated rules to disable")
+		exempts     multiFlag
+		list        = fs.Bool("list", false, "list available rules and exit")
+		jsonOut     = fs.Bool("json", false, "emit one JSON object per finding (file, line, rule, message)")
+		github      = fs.Bool("github", false, "also emit GitHub Actions ::error annotations for inline PR review")
+		writeSchema = fs.Bool("write-schema", false, "regenerate the jsonschema golden files and exit")
 	)
-	fs.Var(&exempts, "exempt", "rule=prefix[,prefix...] paths a rule must not report on (repeatable; rule \"*\" applies to all)")
+	fs.Var(&exempts, "exempt", "rule=prefix[,prefix...] paths a rule must not report on (repeatable; ad-hoc investigation only — the committed tree carries none)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: maxwelint [flags] [packages]\n")
 		fs.PrintDefaults()
@@ -81,19 +104,74 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "maxwelint: %v\n", err)
 		return 2
 	}
+	if *writeSchema {
+		written, err := lint.WriteSchemaGolden(root, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "maxwelint: %v\n", err)
+			return 2
+		}
+		for _, path := range written {
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+		}
+		return 0
+	}
 	diags, err := lint.Run(root, fs.Args(), cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "maxwelint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
-	}
+	printDiagnostics(stdout, diags, *jsonOut, *github)
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "maxwelint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire form of one diagnostic, one object per
+// line so the stream composes with jq and line-oriented CI tooling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// printDiagnostics renders the findings in the selected formats. The
+// -github annotations always accompany the primary format (text or
+// JSON): GitHub scans the whole log for workflow commands, so mixing
+// streams is safe and keeps the human-readable listing intact.
+func printDiagnostics(stdout *os.File, diags []lint.Diagnostic, asJSON, github bool) {
+	enc := json.NewEncoder(stdout)
+	for _, d := range diags {
+		if asJSON {
+			// Encode cannot fail for this flat struct; a broken pipe ends
+			// the process anyway.
+			_ = enc.Encode(jsonFinding{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Rule:    d.Rule,
+				Message: d.Msg,
+			})
+		} else {
+			fmt.Fprintln(stdout, d)
+		}
+		if github {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,title=maxwelint %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Rule, escapeGitHub(d.Msg))
+		}
+	}
+}
+
+// escapeGitHub encodes the characters GitHub workflow commands treat as
+// message terminators.
+func escapeGitHub(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // multiFlag collects repeated occurrences of a string flag.

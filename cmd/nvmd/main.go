@@ -126,7 +126,8 @@ func cmdServe(args []string) error {
 
 	srv := &http.Server{Handler: service.NewHandler(mgr)}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	//lint:allow nondeterminism "the HTTP server needs its own goroutine so main can select on signals; job payloads stay deterministic"
+	go func() { errc <- srv.Serve(ln) }() //lint:allow ctxprop "never blocks: errc has capacity 1 and exactly one send"
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

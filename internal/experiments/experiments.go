@@ -252,11 +252,12 @@ func Fig6(s Setup, percents []int) []Fig6Row {
 // ---------------------------------------------------------------------------
 // Figure 7 — lifetime under BPA vs SWR percentage, per wear-leveling scheme
 
-// Fig7Row is one point of Figure 7.
+// Fig7Row is one point of Figure 7. Rows are serialized into nvmd
+// results and runner checkpoints, so wire names are pinned explicitly.
 type Fig7Row struct {
-	WL         string
-	SWRPercent int
-	Normalized float64
+	WL         string  `json:"WL"`
+	SWRPercent int     `json:"SWRPercent"`
+	Normalized float64 `json:"Normalized"`
 }
 
 // Fig7DefaultPercents returns the paper's Figure 7 x axis — the SWR share
@@ -291,11 +292,12 @@ func Fig7(s Setup, swrPercents []int, wls []string) []Fig7Row {
 // ---------------------------------------------------------------------------
 // Figure 8 — spare-scheme comparison under BPA per wear-leveling scheme
 
-// Fig8Row is one bar of Figure 8.
+// Fig8Row is one bar of Figure 8. Rows are serialized into nvmd
+// results and runner checkpoints, so wire names are pinned explicitly.
 type Fig8Row struct {
-	WL         string
-	Scheme     string
-	Normalized float64
+	WL         string  `json:"WL"`
+	Scheme     string  `json:"Scheme"`
+	Normalized float64 `json:"Normalized"`
 }
 
 // SchemeNames lists the spare schemes of Figure 8 in the paper's order.

@@ -30,25 +30,27 @@ import (
 
 // Config parameterizes a fault plan. The zero value injects nothing and
 // is a strict no-op: a simulator run with a zero-config plan is
-// bit-identical to a run with no fault layer at all.
+// bit-identical to a run with no fault layer at all. Config is embedded
+// in maxwe.Config and therefore hashed into nvmd job fingerprints; the
+// json tags pin the wire names (maxwelint jsonschema rule).
 type Config struct {
 	// Seed drives every fault decision. Plans with equal configs draw
 	// identical fault sequences.
-	Seed uint64
+	Seed uint64 `json:"Seed"`
 	// TransientProb is the per-physical-write probability that the write
 	// fails transiently and must be retried.
-	TransientProb float64
+	TransientProb float64 `json:"TransientProb"`
 	// MaxTransientRetries bounds how many retries a transient failure can
 	// demand (the demand is drawn uniformly from [1, MaxTransientRetries]).
 	// Zero selects DefaultMaxTransientRetries when TransientProb > 0.
-	MaxTransientRetries int
+	MaxTransientRetries int `json:"MaxTransientRetries"`
 	// StuckAtProb is the per-physical-write probability that the target
 	// line fails hard (stuck-at) before its endurance budget is spent.
-	StuckAtProb float64
+	StuckAtProb float64 `json:"StuckAtProb"`
 	// MetadataProb is the per-physical-write probability that one mapping
 	// table entry is corrupted (schemes without corruptible metadata
 	// ignore the event).
-	MetadataProb float64
+	MetadataProb float64 `json:"MetadataProb"`
 }
 
 // DefaultMaxTransientRetries is the retry demand bound used when
@@ -148,13 +150,13 @@ func (p *Plan) Draw() WriteFault {
 // after MaxRetries is escalated to a permanent line failure.
 type RetryPolicy struct {
 	// MaxRetries is the per-write retry budget (must be >= 1).
-	MaxRetries int
+	MaxRetries int `json:"MaxRetries"`
 	// BackoffBase is the delay charged for the first retry, in device
 	// write-slot units (>= 0).
-	BackoffBase int64
+	BackoffBase int64 `json:"BackoffBase"`
 	// BackoffCap bounds the per-retry delay: retry i charges
 	// min(BackoffBase << i, BackoffCap).
-	BackoffCap int64
+	BackoffCap int64 `json:"BackoffCap"`
 }
 
 // DefaultRetryPolicy retries four times with 1-2-4-8 unit backoff.
@@ -199,21 +201,21 @@ func (p RetryPolicy) Backoff(attempt int) int64 {
 // engine.
 type Counters struct {
 	// TransientFaults counts writes that needed at least one retry.
-	TransientFaults int64
+	TransientFaults int64 `json:"TransientFaults"`
 	// Retries counts individual retry attempts across all writes.
-	Retries int64
+	Retries int64 `json:"Retries"`
 	// BackoffUnits is the total retry delay charged, in write-slot units.
-	BackoffUnits int64
+	BackoffUnits int64 `json:"BackoffUnits"`
 	// Escalations counts transient failures that exhausted the retry
 	// budget and were promoted to permanent line failures.
-	Escalations int64
+	Escalations int64 `json:"Escalations"`
 	// StuckAtFaults counts lines killed before their budget was spent.
-	StuckAtFaults int64
+	StuckAtFaults int64 `json:"StuckAtFaults"`
 	// MetadataFaults counts corrupted mapping-table entries injected.
-	MetadataFaults int64
+	MetadataFaults int64 `json:"MetadataFaults"`
 	// MetadataRepairs counts entries the integrity scrub detected and
 	// rebuilt from the journal.
-	MetadataRepairs int64
+	MetadataRepairs int64 `json:"MetadataRepairs"`
 }
 
 // Any reports whether any fault was injected.

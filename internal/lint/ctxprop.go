@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxprop is the context-propagation rule for goroutine-spawning
+// packages (any package containing a go statement). In a function that a
+// context.Context reaches — as a parameter, a derived local, or a
+// captured field — every potentially-unbounded blocking point must be
+// selectable on that context, or daemon shutdown can hang behind it:
+//
+//   - a channel send or receive outside a select;
+//   - a range loop over a channel;
+//   - sync.WaitGroup.Wait and sync.Cond.Wait.
+//
+// Blocking points inside a select are assumed multiplexed (the known
+// false-negative edge: a select whose every case blocks forever still
+// passes). Functions with no context in scope are not reported — the
+// rule enforces propagation of a context you have, not invention of one
+// you don't. Deliberate terminal waits (draining workers after
+// cancellation) are waived per line with //lint:allow ctxprop "reason".
+var Ctxprop = &Analyzer{
+	Name: "ctxprop",
+	Doc: "in goroutine-spawning packages, blocking channel operations and " +
+		"Wait calls in functions reached by a context.Context must be " +
+		"selectable on it (select with <-ctx.Done()), so shutdown cannot " +
+		"hang behind them",
+	Run: runCtxprop,
+}
+
+// blockingWaits lists Wait-style calls that cannot be interrupted by
+// context cancellation.
+var blockingWaits = map[string]bool{
+	"(*sync.WaitGroup).Wait": true,
+	"(*sync.Cond).Wait":      true,
+}
+
+func runCtxprop(p *Pass) {
+	if !packageSpawnsGoroutines(p) {
+		return
+	}
+	for _, fb := range packageFuncs(p) {
+		if !contextReaches(p, fb) {
+			continue
+		}
+		// A select's communication operations are multiplexed by
+		// definition; remember them so the walk below skips exactly
+		// those statements (case bodies stay covered).
+		selectComms := make(map[ast.Stmt]bool)
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					selectComms[cc.Comm] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.SendStmt:
+				if !selectComms[s] {
+					p.Reportf(s.Arrow, "blocking channel send outside a select in a function a "+
+						"context reaches; make it selectable on <-ctx.Done() so shutdown cannot hang")
+				}
+			case *ast.AssignStmt:
+				if selectComms[s] {
+					return true
+				}
+				for _, rhs := range s.Rhs {
+					reportBlockingRecv(p, rhs)
+				}
+			case *ast.ExprStmt:
+				if selectComms[s] {
+					return true
+				}
+				reportBlockingRecv(p, s.X)
+			case *ast.RangeStmt:
+				if isChanType(p, s.X) {
+					p.Reportf(s.For, "range over a channel blocks until the channel closes; in a "+
+						"function a context reaches, receive in a select with <-ctx.Done() instead")
+				}
+			case *ast.CallExpr:
+				if name := calleeFullName(p, s); blockingWaits[name] {
+					p.Reportf(s.Pos(), "%s cannot be interrupted by context cancellation; bound the "+
+						"wait (close channels on ctx.Done, or wait in a goroutine and select on the result)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportBlockingRecv flags a top-level channel receive expression. Only
+// the outermost expression is considered: a receive nested deeper is
+// part of a larger computation and still blocks, but the outer statement
+// is where the fix goes, so one finding per statement is enough.
+func reportBlockingRecv(p *Pass, e ast.Expr) {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return
+	}
+	p.Reportf(u.OpPos, "blocking channel receive outside a select in a function a "+
+		"context reaches; make it selectable on <-ctx.Done() so shutdown cannot hang")
+}
+
+// packageSpawnsGoroutines reports whether any file of the package
+// contains a go statement — the gate that keeps this rule out of the
+// purely sequential simulation packages.
+func packageSpawnsGoroutines(p *Pass) bool {
+	found := false
+	p.inspectFiles(func(_ *ast.File, n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// contextReaches reports whether a context.Context is in scope anywhere
+// in the function: a parameter, a local (ctx := ...), or a struct field
+// read (m.baseCtx). Closures count through the identifiers they capture.
+func contextReaches(p *Pass, fb funcBody) bool {
+	found := false
+	ast.Inspect(fb.decl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,164 @@
+// dataflow.go is the small intra-procedural dataflow approximation the
+// type-aware rules share. It deliberately trades precision for
+// predictability:
+//
+//   - taint propagates through assignments, short variable declarations,
+//     composite literals and same-package call results (one fixpoint over
+//     the package's function set), but not through fields of distinct
+//     variables, channels, or cross-package calls;
+//   - the analysis is flow-insensitive: a variable tainted anywhere in a
+//     function body is tainted everywhere in it;
+//   - a variable passed to a sort function is treated as order-clean for
+//     the whole function, because sorting is how map-iteration results
+//     are canonicalized in this repository.
+//
+// The known false-negative edges are documented in DESIGN.md ("Type-aware
+// lint driver").
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcBody pairs one analyzable function-like body with its declaration
+// name (empty for function literals).
+type funcBody struct {
+	name string
+	decl *ast.FuncDecl // nil for literals
+	body *ast.BlockStmt
+	file *ast.File
+}
+
+// packageFuncs returns every declared function body in the package, in
+// file/declaration order. Function literals are not split out: they are
+// part of their enclosing declaration's body, which is the right scope
+// for closure-based dataflow.
+func packageFuncs(p *Pass) []funcBody {
+	var out []funcBody
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcBody{name: fd.Name.Name, decl: fd, body: fd.Body, file: file})
+		}
+	}
+	return out
+}
+
+// funcScopes returns every function body in the package as its own
+// scope: declaration bodies plus the body of every function literal.
+// Rules whose state is lexically scoped to one activation — lock
+// regions, where a deferred unlock runs when the *closure* returns, not
+// the enclosing declaration — analyze scopes, not packageFuncs bodies.
+func funcScopes(p *Pass) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, fb := range packageFuncs(p) {
+		out = append(out, fb.body)
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+				out = append(out, lit.Body)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectScope walks body with fn but does not descend into nested
+// function literals, so each scope from funcScopes sees only its own
+// statements.
+func inspectScope(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// rootObject resolves the variable object an lvalue or channel expression
+// ultimately names: x, x.F, x[i], *x and (x) all root at x. It returns
+// nil for expressions with no identifiable root (call results, literals).
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := p.Pkg.Info.ObjectOf(v); obj != nil {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// Method values and qualified identifiers root at the
+			// selection's receiver/package; plain field access keeps
+			// unwrapping.
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapType reports whether e ranges over (or is) a map.
+func isMapType(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isChanType reports whether e has channel type.
+func isChanType(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeFullName returns the fully qualified name of the function or
+// method a call statically invokes ("time.Now",
+// "(*sync.WaitGroup).Wait"), or "" when it cannot be resolved.
+func calleeFullName(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// calleePkgPath returns the import path of the package whose function or
+// method a call statically invokes, or "" for builtins, conversions and
+// unresolved callees.
+func calleePkgPath(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

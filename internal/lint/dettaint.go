@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Dettaint is the determinism-taint rule: it flags values whose bytes
+// depend on map iteration order, the wall clock, or global randomness
+// when those values flow into a serialization call (encoding/json,
+// encoding/gob, encoding/xml). Serialized bytes are this repository's
+// determinism surface — checkpoints, spec fingerprints and result
+// documents must be bit-identical across runs and restarts — so an
+// order- or clock-dependent value reaching an encoder is a correctness
+// bug even in packages where concurrency itself is sanctioned.
+//
+// The dataflow is the intra-procedural approximation described in
+// dataflow.go, extended one level across same-package calls: a function
+// that returns a tainted value taints its call sites. Sorting a variable
+// (sort.Strings and friends) marks it order-clean for the whole
+// function, which is how legitimate map-to-slice canonicalization
+// passes.
+var Dettaint = &Analyzer{
+	Name: "dettaint",
+	Doc: "flag map-iteration-, wall-clock- and randomness-derived values " +
+		"that flow into json/gob/xml serialization; serialized bytes are the " +
+		"determinism surface (checkpoints, fingerprints, results) and must " +
+		"not depend on iteration order or time",
+	Run: runDettaint,
+}
+
+// taintSources maps fully qualified callees to the origin description
+// used in diagnostics.
+var taintSources = map[string]string{
+	"time.Now":     "the wall clock (time.Now)",
+	"time.Since":   "the wall clock (time.Since)",
+	"time.Until":   "the wall clock (time.Until)",
+	"os.Getenv":    "the process environment (os.Getenv)",
+	"os.LookupEnv": "the process environment (os.LookupEnv)",
+	"os.Environ":   "the process environment (os.Environ)",
+}
+
+// taintSourcePkgs maps callee package paths whose every function is a
+// taint source to an origin description.
+var taintSourcePkgs = map[string]string{
+	"math/rand":    "global randomness (math/rand)",
+	"math/rand/v2": "global randomness (math/rand/v2)",
+}
+
+// taintSinks lists serialization entry points; a tainted argument to any
+// of them is a finding.
+var taintSinks = map[string]bool{
+	"encoding/json.Marshal":           true,
+	"encoding/json.MarshalIndent":     true,
+	"(*encoding/json.Encoder).Encode": true,
+	"(*encoding/gob.Encoder).Encode":  true,
+	"encoding/xml.Marshal":            true,
+	"encoding/xml.MarshalIndent":      true,
+	"(*encoding/xml.Encoder).Encode":  true,
+}
+
+// taintSanitizers lists functions that establish a deterministic order
+// on their first argument; a variable passed to one is order-clean for
+// the whole function body.
+var taintSanitizers = map[string]bool{
+	"sort.Strings":          true,
+	"sort.Ints":             true,
+	"sort.Float64s":         true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+func runDettaint(p *Pass) {
+	funcs := packageFuncs(p)
+
+	// Fixpoint over the package: discover functions whose results carry
+	// taint, so same-package helper calls propagate it. Three rounds
+	// bound call chains deeper than the repository ever nests.
+	taintedFuncs := make(map[types.Object]string)
+	for round := 0; round < 3; round++ {
+		changed := false
+		for _, fb := range funcs {
+			ft := newFuncTaint(p, fb, taintedFuncs)
+			origin := ft.returnOrigin()
+			if origin == "" {
+				continue
+			}
+			obj := p.Pkg.Info.ObjectOf(fb.decl.Name)
+			if obj != nil && taintedFuncs[obj] == "" {
+				taintedFuncs[obj] = origin
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report taint reaching serialization sinks.
+	for _, fb := range funcs {
+		ft := newFuncTaint(p, fb, taintedFuncs)
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !taintSinks[calleeFullName(p, call)] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if origin := ft.exprOrigin(arg); origin != "" {
+					p.Reportf(call.Pos(), "value derived from %s is serialized by %s; "+
+						"serialized bytes must be deterministic (sort map-derived data, plumb times explicitly)",
+						origin, calleeFullName(p, call))
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// funcTaint holds the per-function taint state.
+type funcTaint struct {
+	p            *Pass
+	fb           funcBody
+	taintedFuncs map[types.Object]string
+	tainted      map[types.Object]string // var -> origin
+	sanitized    map[types.Object]bool
+}
+
+// newFuncTaint runs the assignment walk to fixpoint for one function.
+func newFuncTaint(p *Pass, fb funcBody, taintedFuncs map[types.Object]string) *funcTaint {
+	ft := &funcTaint{
+		p:            p,
+		fb:           fb,
+		taintedFuncs: taintedFuncs,
+		tainted:      make(map[types.Object]string),
+		sanitized:    make(map[types.Object]bool),
+	}
+	// Pre-scan: sanitized variables are order-clean everywhere.
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !taintSanitizers[calleeFullName(p, call)] {
+			return true
+		}
+		if obj := rootObject(p, call.Args[0]); obj != nil {
+			ft.sanitized[obj] = true
+		}
+		return true
+	})
+	// Flow-insensitive propagation to fixpoint (bounded: each round can
+	// only add objects, and bodies are finite).
+	for round := 0; round < 10; round++ {
+		if !ft.propagate() {
+			break
+		}
+	}
+	return ft
+}
+
+// propagate performs one pass over the body, tainting range variables
+// over maps and assignment targets of tainted right-hand sides. It
+// reports whether anything new was tainted.
+func (ft *funcTaint) propagate() bool {
+	changed := false
+	mark := func(e ast.Expr, origin string) {
+		obj := rootObject(ft.p, e)
+		if obj == nil || ft.tainted[obj] != "" {
+			return
+		}
+		ft.tainted[obj] = origin
+		changed = true
+	}
+	ast.Inspect(ft.fb.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(ft.p, s.X) {
+				const origin = "map iteration order"
+				if s.Key != nil {
+					mark(s.Key, origin)
+				}
+				if s.Value != nil {
+					mark(s.Value, origin)
+				}
+			}
+		case *ast.AssignStmt:
+			origin := ""
+			for _, rhs := range s.Rhs {
+				if o := ft.exprOrigin(rhs); o != "" {
+					origin = o
+					break
+				}
+			}
+			if origin != "" {
+				for _, lhs := range s.Lhs {
+					mark(lhs, origin)
+				}
+			}
+		case *ast.ValueSpec:
+			origin := ""
+			for _, v := range s.Values {
+				if o := ft.exprOrigin(v); o != "" {
+					origin = o
+					break
+				}
+			}
+			if origin != "" {
+				for _, name := range s.Names {
+					mark(name, origin)
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// exprOrigin returns the taint origin of an expression, or "" when the
+// expression is clean. An expression is tainted when any subexpression
+// reads a tainted variable or calls a taint source (or a same-package
+// function with tainted results).
+func (ft *funcTaint) exprOrigin(e ast.Expr) string {
+	origin := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if origin != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			obj := ft.p.Pkg.Info.ObjectOf(v)
+			if obj == nil || ft.sanitized[obj] {
+				return true
+			}
+			if o := ft.tainted[obj]; o != "" {
+				origin = o
+			}
+		case *ast.CallExpr:
+			if o := ft.callOrigin(v); o != "" {
+				origin = o
+				return false
+			}
+		}
+		return true
+	})
+	return origin
+}
+
+// callOrigin classifies a call as a taint source: a listed source
+// function, anything from a source package, or a same-package function
+// whose returns were found tainted.
+func (ft *funcTaint) callOrigin(call *ast.CallExpr) string {
+	full := calleeFullName(ft.p, call)
+	if o, ok := taintSources[full]; ok {
+		return o
+	}
+	if o, ok := taintSourcePkgs[calleePkgPath(ft.p, call)]; ok {
+		return o
+	}
+	fn := calleeFunc(ft.p, call)
+	if fn != nil {
+		if o := ft.taintedFuncs[types.Object(fn)]; o != "" {
+			return o + " (via " + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// returnOrigin reports the origin of the first tainted return value of
+// the function, or "" when every return is clean. Function literals
+// inside the body return to their own callers, not this function's, so
+// only returns lexically outside any literal count.
+func (ft *funcTaint) returnOrigin() string {
+	origin := ""
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if origin != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if o := ft.exprOrigin(res); o != "" {
+					origin = o
+					break
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(ft.fb.body, walk)
+	return origin
+}

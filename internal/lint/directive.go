@@ -1,0 +1,111 @@
+// directive.go implements the line-level suppression directive
+//
+//	//lint:allow <rule> "reason"
+//
+// which waives one rule's findings on the directive's own line and, when
+// the directive stands alone on a comment line, on the line directly
+// below it. A reason is mandatory: the directive exists so every waiver
+// is a reviewed, self-justifying decision in the diff, replacing the old
+// directory-level exemption lists. A directive with an unknown rule, a
+// missing reason, or an empty reason is itself a finding (rule
+// "directive"), and a malformed directive never suppresses anything.
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// DirectiveRule is the pseudo-rule name under which malformed
+// //lint:allow directives are reported. It is not part of the registry:
+// directive validation is a driver responsibility and cannot be disabled
+// or suppressed.
+const DirectiveRule = "directive"
+
+// allowRe matches the directive comment. The tail (rule and reason) is
+// parsed by parseDirective so malformed tails produce findings instead of
+// being silently ignored.
+var allowRe = regexp.MustCompile(`^//lint:allow(\s+.*)?$`)
+
+// allowSet indexes honored directives: file -> line -> rules waived on
+// that line.
+type allowSet map[string]map[int]map[string]bool
+
+// allows reports whether rule is waived at file:line.
+func (s allowSet) allows(file string, line int, rule string) bool {
+	return s[file][line][rule]
+}
+
+// add records one honored directive covering file:line.
+func (s allowSet) add(file string, line int, rule string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	rules := byLine[line]
+	if rules == nil {
+		rules = make(map[string]bool)
+		byLine[line] = rules
+	}
+	rules[rule] = true
+}
+
+// collectDirectives scans every comment of the package for //lint:allow
+// directives. Well-formed directives are indexed for suppression;
+// malformed ones become DirectiveRule diagnostics. A directive on the
+// same line as code covers that line; a directive alone on its line
+// covers itself and the next line.
+func collectDirectives(fset *token.FileSet, pkg *Package) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var diags []Diagnostic
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, comment := range group.List {
+				m := allowRe.FindStringSubmatch(comment.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(comment.Pos())
+				rel := pkg.relFile(pos.Filename)
+				rule, problem := parseDirective(m[1])
+				if problem != "" {
+					pos.Filename = rel
+					diags = append(diags, Diagnostic{Pos: pos, Rule: DirectiveRule, Msg: problem})
+					continue
+				}
+				allows.add(rel, pos.Line, rule)
+				allows.add(rel, pos.Line+1, rule)
+			}
+		}
+	}
+	return allows, diags
+}
+
+// parseDirective validates the text after "//lint:allow" and returns the
+// waived rule name, or a non-empty problem description when the directive
+// is malformed.
+func parseDirective(tail string) (rule, problem string) {
+	fields := strings.Fields(tail)
+	if len(fields) == 0 {
+		return "", `lint:allow needs a rule and a quoted reason: //lint:allow <rule> "reason"`
+	}
+	rule = fields[0]
+	if ByName(rule) == nil {
+		return "", strconv.Quote(rule) + " is not a registered rule; run maxwelint -list for the rule set"
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(tail), rule))
+	if rest == "" {
+		return "", "lint:allow " + rule + " needs a quoted reason explaining the waiver"
+	}
+	reason, err := strconv.Unquote(rest)
+	if err != nil {
+		return "", "lint:allow " + rule + ": reason must be one quoted string, got " + strconv.Quote(rest)
+	}
+	if strings.TrimSpace(reason) == "" {
+		return "", "lint:allow " + rule + ": reason must not be empty"
+	}
+	return rule, ""
+}

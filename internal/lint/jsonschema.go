@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Jsonschema is the serialized-schema stability rule. For each
+// configured root type (Config.SchemaRoots — by default service.JobSpec,
+// service.JobResult and the runner checkpoint document) it walks every
+// struct field reachable through json marshaling and requires an
+// explicit `json` tag: wire names, and therefore checkpoint bytes and
+// spec fingerprints, must be deliberate decisions visible in the diff,
+// never accidents of Go field naming.
+//
+// Roots listed in Config.SchemaGolden additionally pin their rendered
+// schema to a golden file: adding, removing or re-tagging a reachable
+// field fails lint until the golden is regenerated (make lint-schema)
+// and the diff reviewed — a fingerprint-breaking change becomes a
+// reviewed event instead of a silently corrupted resume.
+var Jsonschema = &Analyzer{
+	Name: "jsonschema",
+	Doc: "require explicit json tags on every struct field reachable from " +
+		"the configured marshal roots (job specs, results, checkpoints) and " +
+		"pin their rendered schema to a golden file, so wire-format and " +
+		"fingerprint changes are deliberate, reviewed diffs",
+	Run: runJsonschema,
+}
+
+func runJsonschema(p *Pass) {
+	if p.Pkg.Types == nil {
+		return
+	}
+	roots := p.Cfg.SchemaRoots[p.Pkg.Types.Path()]
+	for _, name := range roots {
+		obj := p.Pkg.Types.Scope().Lookup(name)
+		if obj == nil {
+			p.Reportf(p.Pkg.Files[0].Name.Pos(),
+				"schema root %s.%s does not exist; update Config.SchemaRoots", p.Pkg.Types.Path(), name)
+			continue
+		}
+		w := &schemaWalker{pass: p, seen: make(map[string]*types.Struct)}
+		w.visit(obj.Type())
+		key := p.Pkg.Types.Path() + "." + name
+		golden, ok := p.Cfg.SchemaGolden[key]
+		if !ok {
+			continue
+		}
+		rendered := w.render(key)
+		data, err := os.ReadFile(filepath.Join(p.Pkg.root, filepath.FromSlash(golden)))
+		if err != nil {
+			p.Reportf(obj.Pos(), "golden schema %s for %s is unreadable (%v); run `make lint-schema` and review the generated file",
+				golden, key, err)
+			continue
+		}
+		if string(data) != rendered {
+			p.Reportf(obj.Pos(), "serialized schema of %s drifted from %s; wire names and fingerprints change with it — "+
+				"if deliberate, run `make lint-schema` and review the diff", key, golden)
+		}
+	}
+}
+
+// schemaWalker accumulates the named structs reachable from a root
+// through json marshaling, reporting untagged fields as it goes.
+type schemaWalker struct {
+	pass *Pass
+	// seen maps qualified struct names to their struct types, and doubles
+	// as the visited set.
+	seen map[string]*types.Struct
+}
+
+// visit recursively walks t's marshal closure.
+func (w *schemaWalker) visit(t types.Type) {
+	switch v := t.(type) {
+	case *types.Pointer:
+		w.visit(v.Elem())
+	case *types.Slice:
+		w.visit(v.Elem())
+	case *types.Array:
+		w.visit(v.Elem())
+	case *types.Map:
+		w.visit(v.Elem())
+	case *types.Named:
+		obj := v.Obj()
+		if obj.Pkg() == nil || !w.inModule(obj.Pkg()) {
+			// Standard-library and foreign types (time.Time,
+			// json.RawMessage) own their wire format; stop at the module
+			// boundary.
+			return
+		}
+		st, ok := v.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		key := obj.Pkg().Path() + "." + obj.Name()
+		if _, done := w.seen[key]; done {
+			return
+		}
+		w.seen[key] = st
+		w.visitStruct(key, st)
+	case *types.Struct:
+		// Anonymous struct: check fields in place, no schema entry.
+		w.visitStruct("", v)
+	}
+}
+
+// visitStruct checks every marshaled field of st and recurses into field
+// types. Unexported fields are invisible to encoding/json and skipped;
+// fields tagged json:"-" terminate their branch.
+func (w *schemaWalker) visitStruct(key string, st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		tag, ok := reflect.StructTag(st.Tag(i)).Lookup("json")
+		if !ok || tag == "" {
+			w.pass.Reportf(field.Pos(), "field %s reaches a marshal root without an explicit json tag; "+
+				"name its wire field (or json:\"-\") so checkpoint and fingerprint bytes are deliberate",
+				fieldRef(key, field))
+			// Still recurse: the field marshals under its Go name today.
+			w.visit(field.Type())
+			continue
+		}
+		if tagName(tag) == "-" {
+			continue
+		}
+		w.visit(field.Type())
+	}
+}
+
+// inModule reports whether pkg belongs to the module under analysis.
+func (w *schemaWalker) inModule(pkg *types.Package) bool {
+	mod := w.pass.Pkg.modpath
+	return pkg.Path() == mod || strings.HasPrefix(pkg.Path(), mod+"/")
+}
+
+// fieldRef renders a field reference for diagnostics.
+func fieldRef(key string, field *types.Var) string {
+	if key == "" {
+		return field.Name()
+	}
+	return key + "." + field.Name()
+}
+
+// tagName extracts the wire name part of a json tag value.
+func tagName(tag string) string {
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		return tag[:i]
+	}
+	return tag
+}
+
+// render produces the canonical schema document for a walked root: every
+// reachable named struct sorted by qualified name, fields in declaration
+// order with wire tag and type. The format is line-oriented so golden
+// diffs read naturally in review.
+func (w *schemaWalker) render(root string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# maxwelint jsonschema golden for %s\n", root)
+	b.WriteString("# Regenerate with `make lint-schema`; review the diff — these are wire bytes.\n")
+	names := make([]string, 0, len(w.seen))
+	for name := range w.seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	qual := func(p *types.Package) string { return p.Path() }
+	for _, name := range names {
+		st := w.seen[name]
+		fmt.Fprintf(&b, "\nstruct %s\n", name)
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !field.Exported() {
+				continue
+			}
+			tag, ok := reflect.StructTag(st.Tag(i)).Lookup("json")
+			wire := field.Name()
+			switch {
+			case !ok || tag == "":
+				wire = field.Name() + " (UNTAGGED)"
+			case tagName(tag) == "-":
+				wire = "(omitted)"
+			default:
+				wire = tag
+			}
+			fmt.Fprintf(&b, "  %-16s %-28s %s\n", field.Name(), wire, types.TypeString(field.Type(), qual))
+		}
+	}
+	return b.String()
+}
+
+// WriteSchemaGolden renders the schema of every root in
+// cfg.SchemaGolden and writes the golden files (relative to the module
+// root), returning the paths written. cmd/maxwelint -write-schema and
+// `make lint-schema` call this; the written diff is the reviewable
+// record of a wire-format change. A nil cfg means DefaultConfig.
+func WriteSchemaGolden(root string, cfg *Config) ([]string, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var written []string
+	for pkgPath, names := range cfg.SchemaRoots {
+		for _, name := range names {
+			key := pkgPath + "." + name
+			golden, ok := cfg.SchemaGolden[key]
+			if !ok {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, loader.modpath), "/")
+			if rel == "" {
+				rel = "."
+			}
+			pkg, err := loader.LoadPackage(rel)
+			if err != nil {
+				return written, err
+			}
+			if pkg == nil || pkg.Types == nil {
+				return written, fmt.Errorf("lint: schema root package %s has no Go files", pkgPath)
+			}
+			obj := pkg.Types.Scope().Lookup(name)
+			if obj == nil {
+				return written, fmt.Errorf("lint: schema root %s not found", key)
+			}
+			pass := &Pass{Fset: loader.Fset, Pkg: pkg, Cfg: cfg, rule: Jsonschema.Name, diags: new([]Diagnostic)}
+			w := &schemaWalker{pass: pass, seen: make(map[string]*types.Struct)}
+			w.visit(obj.Type())
+			path := filepath.Join(root, filepath.FromSlash(golden))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return written, fmt.Errorf("lint: create schema dir: %w", err)
+			}
+			if err := os.WriteFile(path, []byte(w.render(key)), 0o644); err != nil {
+				return written, fmt.Errorf("lint: write schema golden: %w", err)
+			}
+			written = append(written, golden)
+		}
+	}
+	sort.Strings(written)
+	return written, nil
+}

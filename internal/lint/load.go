@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -32,7 +33,8 @@ type Package struct {
 	// buildable tree produces none.
 	TypeErrors []error
 
-	root string
+	root    string
+	modpath string
 }
 
 // relFile returns filename relative to the module root (slash-separated)
@@ -60,6 +62,7 @@ type Loader struct {
 	modpath string
 	std     types.Importer
 	cache   map[string]*types.Package
+	build   build.Context
 }
 
 // NewLoader builds a loader for the Go module rooted at root (the
@@ -79,6 +82,7 @@ func NewLoader(root string) (*Loader, error) {
 		modpath: modpath,
 		std:     importer.Default(),
 		cache:   make(map[string]*types.Package),
+		build:   build.Default,
 	}, nil
 }
 
@@ -180,6 +184,7 @@ func (l *Loader) LoadPackage(dir string) (*Package, error) {
 		Info:       info,
 		TypeErrors: typeErrors,
 		root:       l.root,
+		modpath:    l.modpath,
 	}, nil
 }
 
@@ -205,7 +210,11 @@ func (l *Loader) check(importPath, dir string, ignoreBodies bool) (*types.Packag
 	return pkg, files, nil
 }
 
-// parseDir parses every non-test Go file in dir, in filename order.
+// parseDir parses every non-test Go file in dir that the build context
+// selects, in filename order. Files excluded by a //go:build constraint
+// or a GOOS/GOARCH filename suffix are skipped before they ever reach
+// the parser, so golden corpora can hold intentionally-broken Go files
+// behind an always-false build tag.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -217,6 +226,13 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := l.build.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: matching %s: %w", filepath.Join(dir, name), err)
+		}
+		if !match {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Mutexblocking flags slow or blocking operations performed while a
+// sync.Mutex or sync.RWMutex is provably held: channel operations, HTTP
+// round trips, file-system calls and sleeps. A lock held across I/O
+// serializes every other path through that lock behind the slowest disk
+// or network peer — in the nvmd daemon that turns one stuck request into
+// a frozen API.
+//
+// "Provably held" is per function scope, where each function literal is
+// its own scope (a deferred unlock runs when the closure returns, not
+// when the enclosing declaration does): a region opens at recv.Lock() /
+// recv.RLock() and closes at the matching unlock — deferred unlocks
+// extend the region to the end of the scope; otherwise the region runs
+// to the last recv.Unlock() before the next lock of the same receiver
+// (or the end of the scope when none follows). Lock regions do not
+// follow calls: a helper that performs I/O inside a caller's lock
+// region is the documented false-negative edge. Operations inside a
+// select that has a default case are non-blocking and not reported.
+var Mutexblocking = &Analyzer{
+	Name: "mutexblocking",
+	Doc: "flag channel operations, HTTP round trips, file I/O and sleeps " +
+		"performed while a sync.Mutex/RWMutex is held (lock and unlock in " +
+		"the same function body); move the slow work outside the critical " +
+		"section",
+	Run: runMutexblocking,
+}
+
+// lockCalls and unlockCalls classify the sync locking methods.
+var lockCalls = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+var unlockCalls = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// blockingCallPkgs flags every callee from these packages as blocking.
+var blockingCallPkgs = map[string]string{
+	"net/http": "an HTTP round trip",
+}
+
+// blockingCallNames flags specific fully qualified callees.
+var blockingCallNames = map[string]string{
+	"os.Open":               "file I/O",
+	"os.OpenFile":           "file I/O",
+	"os.Create":             "file I/O",
+	"os.ReadFile":           "file I/O",
+	"os.WriteFile":          "file I/O",
+	"os.ReadDir":            "file I/O",
+	"os.Remove":             "file I/O",
+	"os.RemoveAll":          "file I/O",
+	"os.Rename":             "file I/O",
+	"os.Mkdir":              "file I/O",
+	"os.MkdirAll":           "file I/O",
+	"os.Stat":               "file I/O",
+	"os.Lstat":              "file I/O",
+	"(*os.File).Read":       "file I/O",
+	"(*os.File).Write":      "file I/O",
+	"(*os.File).Close":      "file I/O",
+	"(*os.File).Sync":       "file I/O",
+	"path/filepath.Glob":    "file I/O",
+	"path/filepath.WalkDir": "file I/O",
+	"path/filepath.Walk":    "file I/O",
+	"io.Copy":               "stream I/O",
+	"io.ReadAll":            "stream I/O",
+	"time.Sleep":            "a sleep",
+}
+
+// lockEvent is one lock/unlock call found in a body, in source order.
+type lockEvent struct {
+	pos      token.Pos
+	unlock   bool
+	deferred bool
+}
+
+// lockRegion is one [from, to] span in which a receiver's lock is held.
+type lockRegion struct {
+	from, to token.Pos
+}
+
+func runMutexblocking(p *Pass) {
+	for _, body := range funcScopes(p) {
+		regions := lockRegions(p, body)
+		if len(regions) == 0 {
+			continue
+		}
+		nonBlockingSelect := nonBlockingSelectOps(body)
+		inspectScope(body, func(n ast.Node) bool {
+			pos, what := blockingOp(p, n, nonBlockingSelect)
+			if what == "" {
+				return true
+			}
+			for _, r := range regions {
+				if pos >= r.from && pos <= r.to {
+					p.Reportf(pos, "%s while a mutex is held; release the lock first "+
+						"(snapshot under the lock, then do the slow work)", what)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// blockingOp classifies a node as a blocking operation, returning its
+// position and a description, or "" when the node is not one.
+func blockingOp(p *Pass, n ast.Node, nonBlocking map[ast.Node]bool) (token.Pos, string) {
+	switch v := n.(type) {
+	case *ast.SendStmt:
+		if !nonBlocking[v] {
+			return v.Arrow, "a channel send"
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.ARROW && !nonBlocking[v] {
+			return v.OpPos, "a channel receive"
+		}
+	case *ast.CallExpr:
+		full := calleeFullName(p, v)
+		if what, ok := blockingCallNames[full]; ok {
+			return v.Pos(), what + " (" + full + ")"
+		}
+		if what, ok := blockingCallPkgs[calleePkgPath(p, v)]; ok {
+			return v.Pos(), what + " (" + full + ")"
+		}
+	}
+	return token.NoPos, ""
+}
+
+// nonBlockingSelectOps collects the communication operations of selects
+// that have a default case — those never block.
+func nonBlockingSelectOps(body *ast.BlockStmt) map[ast.Node]bool {
+	ops := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ops[cc.Comm] = true
+			switch comm := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				ops[ast.Unparen(comm.X)] = true
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					ops[ast.Unparen(rhs)] = true
+				}
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// lockRegions computes the held spans for every mutex receiver used in
+// the body, keyed by the receiver expression's object identity.
+func lockRegions(p *Pass, body *ast.BlockStmt) []lockRegion {
+	events := make(map[types.Object][]lockEvent)
+	inspectScope(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			call = v.Call
+			deferred = true
+		case *ast.CallExpr:
+			call = v
+		default:
+			return true
+		}
+		full := calleeFullName(p, call)
+		isLock, isUnlock := lockCalls[full], unlockCalls[full]
+		if !isLock && !isUnlock {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := rootObject(p, sel.X)
+		if recv == nil {
+			return true
+		}
+		events[recv] = append(events[recv], lockEvent{
+			pos: call.Pos(), unlock: isUnlock, deferred: deferred,
+		})
+		return true
+	})
+
+	var regions []lockRegion
+	for _, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		for i, ev := range evs {
+			if ev.unlock {
+				continue
+			}
+			// A deferred unlock anywhere holds the lock to the end of the
+			// body; otherwise the region closes at the last plain unlock
+			// before the next lock (branches unlock on different paths),
+			// or runs to the end when none follows.
+			to := body.End()
+			sawDeferred := false
+			for j := i + 1; j < len(evs); j++ {
+				next := evs[j]
+				if !next.unlock {
+					break
+				}
+				if next.deferred {
+					sawDeferred = true
+					break
+				}
+				to = next.pos
+			}
+			if sawDeferred {
+				to = body.End()
+			}
+			regions = append(regions, lockRegion{from: ev.pos, to: to})
+		}
+	}
+	return regions
+}

@@ -1,0 +1,53 @@
+// Package allow is the golden corpus for the //lint:allow suppression
+// directive: a well-formed directive waives exactly one rule on its own
+// line (and the line below, when it stands alone); malformed directives
+// are findings themselves and suppress nothing. The test runs the
+// nondeterminism analyzer over this package.
+package allow
+
+import "time"
+
+// trailing is suppressed by a directive on the offending line.
+func trailing() time.Time {
+	return time.Now() //lint:allow nondeterminism "golden corpus: trailing directive covers its own line"
+}
+
+// standalone is suppressed by a directive on the line above.
+func standalone() time.Time {
+	//lint:allow nondeterminism "golden corpus: standalone directive covers the next line"
+	return time.Now()
+}
+
+// bare has no directive and is reported.
+func bare() time.Time {
+	return time.Now() // want `\[nondeterminism\] call to time.Now`
+}
+
+// wrongRule carries a well-formed directive for a different rule, which
+// must not suppress the nondeterminism finding.
+func wrongRule() time.Time {
+	//lint:allow floatcmp "golden corpus: a directive for another rule must not suppress this one"
+	return time.Now() // want `call to time.Now`
+}
+
+// tooFar shows the directive's reach is exactly one line: a blank line in
+// between breaks the coverage.
+func tooFar() time.Time {
+	//lint:allow nondeterminism "golden corpus: reach is one line, not two"
+
+	return time.Now() // want `call to time.Now`
+}
+
+// unknownRule: the malformed directive is a finding of the pseudo-rule
+// "directive" and suppresses nothing.
+func unknownRule() time.Time {
+	//lint:allow nosuchrule "golden corpus" // want `\[directive\] "nosuchrule" is not a registered rule`
+	return time.Now() // want `call to time.Now`
+}
+
+// missingReason: a directive without a quoted reason is a finding and
+// suppresses nothing.
+func missingReason() time.Time {
+	//lint:allow nondeterminism // want `\[directive\] lint:allow nondeterminism: reason must be one quoted string`
+	return time.Now() // want `call to time.Now`
+}

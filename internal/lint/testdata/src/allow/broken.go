@@ -1,0 +1,9 @@
+//go:build lintgolden_excluded
+
+// This file is intentionally not valid Go. The loader must skip it via
+// its build constraint before it ever reaches the parser, proving golden
+// corpora can hold deliberately broken files.
+
+package allow
+
+this is not a Go declaration {{{

@@ -1,0 +1,62 @@
+// Package ctxprop is the golden corpus for the context-propagation rule:
+// in a goroutine-spawning package, blocking points in context-reached
+// functions must be selectable on the context.
+package ctxprop
+
+import (
+	"context"
+	"sync"
+)
+
+// spawn makes this a goroutine-spawning package, which gates the rule on.
+func spawn() {
+	go func() {}()
+}
+
+func bareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `\[ctxprop\] blocking channel send outside a select`
+}
+
+func bareRecv(ctx context.Context, ch chan int) {
+	<-ch // want `blocking channel receive outside a select`
+}
+
+func recvAssign(ctx context.Context, ch chan int) int {
+	v := <-ch // want `blocking channel receive outside a select`
+	return v
+}
+
+func rangeChan(ctx context.Context, ch chan int) {
+	for range ch { // want `range over a channel blocks until the channel closes`
+	}
+}
+
+func wgWait(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want `\(\*sync.WaitGroup\).Wait cannot be interrupted by context cancellation`
+}
+
+// selectedSend multiplexes on the context — clean.
+func selectedSend(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// selectedRecv multiplexes the receive — clean.
+func selectedRecv(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// noContext has no context in scope: the rule enforces propagation of a
+// context you have, not invention of one you don't.
+func noContext(ch chan int, wg *sync.WaitGroup) {
+	ch <- 1
+	<-ch
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+// Package dettaint is the golden corpus for the determinism-taint rule:
+// map-iteration-, clock- and randomness-derived values must not flow
+// into serialization.
+package dettaint
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+type doc struct {
+	Names []string `json:"names"`
+}
+
+// mapOrderLeak serializes map keys in iteration order — the bytes differ
+// between runs.
+func mapOrderLeak(m map[string]int) ([]byte, error) {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return json.Marshal(doc{Names: names}) // want `\[dettaint\] value derived from map iteration order is serialized by encoding/json.Marshal`
+}
+
+// mapOrderSorted canonicalizes with sort.Strings first — clean.
+func mapOrderSorted(m map[string]int) ([]byte, error) {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return json.Marshal(doc{Names: names})
+}
+
+// clockLeak serializes a wall-clock read.
+func clockLeak() ([]byte, error) {
+	stamp := time.Now()
+	return json.Marshal(stamp) // want `value derived from the wall clock \(time.Now\) is serialized`
+}
+
+// envLeak serializes a process-environment read.
+func envLeak() ([]byte, error) {
+	home := os.Getenv("HOME")
+	return json.Marshal(home) // want `value derived from the process environment \(os.Getenv\) is serialized`
+}
+
+// randLeak serializes global randomness.
+func randLeak() ([]byte, error) {
+	n := rand.Int()
+	return json.Marshal(n) // want `value derived from global randomness \(math/rand\) is serialized`
+}
+
+// helperStamp hides the clock read behind a same-package call; the
+// package fixpoint still sees through it.
+func helperStamp() time.Time { return time.Now() }
+
+func helperLeak() ([]byte, error) {
+	v := helperStamp()
+	return json.Marshal(v) // want `value derived from the wall clock \(time.Now\) \(via helperStamp\) is serialized`
+}
+
+// encoderLeak covers the method-value sink form.
+func encoderLeak(m map[string]int, enc *json.Encoder) error {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return enc.Encode(keys) // want `map iteration order is serialized by \(\*encoding/json.Encoder\).Encode`
+}
+
+// clean serializes caller-supplied data — nothing to report.
+func clean(vals []string) ([]byte, error) {
+	return json.Marshal(doc{Names: vals})
+}

@@ -1,0 +1,42 @@
+// Package jsonschema is the golden corpus for the schema-stability rule:
+// every struct field reachable from a configured marshal root needs an
+// explicit json tag. The test configures Root as the marshal root.
+package jsonschema
+
+import "time"
+
+// Root is the marshal root the golden test configures.
+type Root struct {
+	Tagged   string    `json:"tagged"`
+	Untagged int       // want `\[jsonschema\] field .*jsonschema.Root.Untagged reaches a marshal root without an explicit json tag`
+	Nested   Nested    `json:"nested"`
+	Pointers []*Deep   `json:"pointers"`
+	Skipped  Hidden    `json:"-"`
+	Stamp    time.Time `json:"stamp"`
+	secret   int
+}
+
+// Nested is reachable through Root.Nested.
+type Nested struct {
+	Inner  string // want `field .*jsonschema.Nested.Inner reaches a marshal root`
+	Tagged bool   `json:"tagged"`
+}
+
+// Deep is reachable through a slice of pointers.
+type Deep struct {
+	Leaf int // want `field .*jsonschema.Deep.Leaf reaches a marshal root`
+}
+
+// Hidden sits behind json:"-": its untagged field is unreachable and must
+// not be reported.
+type Hidden struct {
+	NotReached int
+}
+
+// unreferenced is not reachable from Root at all.
+type unreferenced struct {
+	AlsoNotReached int
+}
+
+var _ = Root{secret: 0}
+var _ = unreferenced{}

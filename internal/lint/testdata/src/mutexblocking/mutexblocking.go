@@ -1,0 +1,75 @@
+// Package mutexblocking is the golden corpus for the blocking-under-lock
+// rule: no channel operations, file I/O or sleeps while a sync mutex is
+// provably held.
+package mutexblocking
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	state map[string]int
+}
+
+func sendUnderLock(s *store, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `\[mutexblocking\] a channel send while a mutex is held`
+	s.mu.Unlock()
+}
+
+func ioUnderDeferredLock(s *store, path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.ReadFile(path) // want `file I/O \(os.ReadFile\) while a mutex is held`
+}
+
+func sleepUnderLock(s *store) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `a sleep \(time.Sleep\) while a mutex is held`
+	s.mu.Unlock()
+}
+
+func recvUnderRWLock(mu *sync.RWMutex, ch chan int) int {
+	mu.RLock()
+	v := <-ch // want `a channel receive while a mutex is held`
+	mu.RUnlock()
+	return v
+}
+
+// ioAfterUnlock snapshots under the lock and does the slow work after —
+// the pattern the diagnostic recommends.
+func ioAfterUnlock(s *store, path string) ([]byte, error) {
+	s.mu.Lock()
+	n := len(s.state)
+	s.mu.Unlock()
+	_ = n
+	return os.ReadFile(path)
+}
+
+// nonBlockingSelectUnderLock never blocks: the select has a default.
+func nonBlockingSelectUnderLock(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// closureScopes pins the scoping fix: a lock taken (and deferred-unlocked)
+// inside a function literal must not put the enclosing function's channel
+// send under that lock.
+func closureScopes(s *store, ch chan int, vals []int) {
+	emit := func(v int) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.state["n"] = v
+	}
+	for _, v := range vals {
+		emit(v)
+		ch <- v
+	}
+}

@@ -6,7 +6,7 @@
 // still sees the full history of the current daemon lifetime.
 package service
 
-import "sync"
+import "sync" //lint:allow nondeterminism "event fan-out is daemon plumbing; determinism is owned by the job payloads, not the broadcast"
 
 // Event is one progress record on a job's event stream, serialized as one
 // NDJSON line by GET /v1/jobs/{id}/events.

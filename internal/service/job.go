@@ -11,7 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
-	"sync"
+	"sync" //lint:allow nondeterminism "job records are mutated by HTTP handlers and the worker pool; results are built only from completed cell values"
 
 	"maxwe"
 	"maxwe/internal/experiments"

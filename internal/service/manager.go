@@ -33,7 +33,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync" //lint:allow nondeterminism "the manager is the daemon's concurrency boundary; job payloads stay deterministic per spec"
 
 	"maxwe"
 	"maxwe/internal/experiments"
@@ -228,7 +228,7 @@ func (m *Manager) Start() {
 
 	for w := 0; w < m.cfg.JobWorkers; w++ {
 		m.wg.Add(1)
-		go func() {
+		go func() { //lint:allow nondeterminism "job workers execute independent jobs; each job's cells and checkpoints are order-committed by the runner"
 			defer m.wg.Done()
 			for {
 				select {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"maxwe"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,41 @@ func TestNormalizeDefaultsAndValidation(t *testing.T) {
 	for _, tc := range bad {
 		if _, err := tc.spec.normalize(); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: normalize() err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFingerprintGolden pins the exact fingerprint bytes of two
+// representative specs. These strings name checkpoint directories on
+// every nvmd data dir in existence: if this test fails, a wire-format
+// change (json tags, field set, canonicalization) has orphaned all
+// stored checkpoints. Such a change must be deliberate — review the
+// jsonschema golden diff (make lint-schema) and migrate or document the
+// breakage before updating these constants.
+func TestFingerprintGolden(t *testing.T) {
+	fig7, err := JobSpec{Kind: KindFig7, Parallelism: 4}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := JobSpec{Kind: KindCells, Cells: []CellSpec{
+		{Key: "paper-default", Config: maxwe.DefaultConfig()},
+	}}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		name string
+		got  string
+		want string
+	}{
+		{"fig7 default grid", fig7.fingerprint(),
+			"nvmd/v1/fig7/da261202205384e6fe471eeb30d6c820f939bab197a0044af2fad7ae5a97b202"},
+		{"cells paper default", cells.fingerprint(),
+			"nvmd/v1/cells/8484f33bf88ccaa872fde54ff633e4f0ce379e79bb7c3c13a3642fa5e0129f16"},
+	}
+	for _, tc := range golden {
+		if tc.got != tc.want {
+			t.Errorf("%s fingerprint = %q, want %q (checkpoint-breaking wire change?)", tc.name, tc.got, tc.want)
 		}
 	}
 }

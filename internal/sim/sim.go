@@ -61,32 +61,34 @@ type Config struct {
 	Done <-chan struct{}
 }
 
-// Result reports one lifetime measurement.
+// Result reports one lifetime measurement. Results are checkpointed and
+// fingerprinted as JSON by the runner and nvmd, so every field pins its
+// wire name explicitly (the maxwelint jsonschema rule enforces this).
 type Result struct {
 	// UserWrites is the number of user writes served before failure.
-	UserWrites int64
+	UserWrites int64 `json:"UserWrites"`
 	// DeviceWrites counts all physical writes, including wear-leveling
 	// movement and replacement redirections.
-	DeviceWrites int64
+	DeviceWrites int64 `json:"DeviceWrites"`
 	// NormalizedLifetime is UserWrites / Σ line endurance — the paper's
 	// lifetime metric.
-	NormalizedLifetime float64
+	NormalizedLifetime float64 `json:"NormalizedLifetime"`
 	// WriteAmplification is DeviceWrites / UserWrites (1.0 when no
 	// leveler runs).
-	WriteAmplification float64
+	WriteAmplification float64 `json:"WriteAmplification"`
 	// WornLines is how many physical lines wore out.
-	WornLines int
+	WornLines int `json:"WornLines"`
 	// SparesUsed is how many spare allocations the scheme performed.
-	SparesUsed int
+	SparesUsed int `json:"SparesUsed"`
 	// Failed is true when the device actually failed; false when the run
 	// stopped at MaxUserWrites.
-	Failed bool
+	Failed bool `json:"Failed"`
 	// Interrupted is true when the run was canceled through Config.Done
 	// before failing or reaching MaxUserWrites.
-	Interrupted bool
+	Interrupted bool `json:"Interrupted"`
 	// Faults counts injected faults per class (all zero when no fault
 	// plan ran).
-	Faults faultinject.Counters
+	Faults faultinject.Counters `json:"Faults"`
 }
 
 var (

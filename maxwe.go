@@ -99,58 +99,61 @@ func PaperOverhead() Overhead { return mapping.PaperOverhead() }
 // Config describes a complete simulated system. Construct with
 // DefaultConfig and override fields as needed.
 type Config struct {
-	// Regions and LinesPerRegion set the device geometry.
-	Regions        int
-	LinesPerRegion int
+	// Regions and LinesPerRegion set the device geometry. The json tags
+	// here and below pin today's wire names explicitly; Config is hashed
+	// into nvmd job fingerprints, so a silent rename would orphan every
+	// stored checkpoint (see the maxwelint jsonschema rule).
+	Regions        int `json:"Regions"`
+	LinesPerRegion int `json:"LinesPerRegion"`
 	// MeanEndurance is the mean per-line write budget. Simulations are
 	// reported normalized, so use a scaled-down value (thousands) rather
 	// than the physical 1e8.
-	MeanEndurance float64
+	MeanEndurance float64 `json:"MeanEndurance"`
 	// VariationQ is the max/min endurance ratio q (the paper evaluates
 	// q = 50).
-	VariationQ float64
+	VariationQ float64 `json:"VariationQ"`
 	// LinearProfile selects the paper's linear endurance distribution;
 	// false samples the Equation 1-2 truncated power-law model instead.
-	LinearProfile bool
+	LinearProfile bool `json:"LinearProfile"`
 
 	// Scheme is the spare-line replacement scheme: "max-we", "pcd",
 	// "ps-random", "ps-worst", "ps-best" or "none".
-	Scheme string
+	Scheme string `json:"Scheme"`
 	// SpareFraction is the spare share of total capacity (paper: 0.10).
-	SpareFraction float64
+	SpareFraction float64 `json:"SpareFraction"`
 	// SWRFraction is the region-level share of the spare capacity
 	// (paper: 0.90; Max-WE only).
-	SWRFraction float64
+	SWRFraction float64 `json:"SWRFraction"`
 
 	// WearLeveling selects the substrate: "" (no leveler; required for
 	// "pcd"), "identity", "start-gap", "partitioned-start-gap", "tlsr",
 	// "pcm-s", "bwl", "wawl", "twl", "stress-aware",
 	// "security-refresh" or "tlsr-exact" (the last two need a
 	// power-of-two user space).
-	WearLeveling string
+	WearLeveling string `json:"WearLeveling"`
 	// Psi is the wear-leveling remap period in writes.
-	Psi int
+	Psi int `json:"Psi"`
 
 	// Attack is "uaa", "partial-uaa", "bpa", "repeated", "random" or
 	// "hotcold".
-	Attack string
+	Attack string `json:"Attack"`
 	// AttackCoverage is the reachable fraction of the address space for
 	// "partial-uaa" (Section 3.2 measures ~0.95 on Linux). Ignored by
 	// the other attacks.
-	AttackCoverage float64
+	AttackCoverage float64 `json:"AttackCoverage"`
 
 	// MaxUserWrites truncates the run (0 = run to device failure).
-	MaxUserWrites int64
+	MaxUserWrites int64 `json:"MaxUserWrites"`
 	// Seed makes the whole run reproducible.
-	Seed uint64
+	Seed uint64 `json:"Seed"`
 
 	// Faults configures deterministic fault injection. The zero value is
 	// a strict no-op: the run is bit-identical to one without a fault
 	// layer.
-	Faults FaultConfig
+	Faults FaultConfig `json:"Faults"`
 	// Retry bounds recovery from transient write faults; the zero value
 	// selects DefaultRetryPolicy. Ignored unless Faults is enabled.
-	Retry RetryPolicy
+	Retry RetryPolicy `json:"Retry"`
 }
 
 // DefaultConfig returns the paper's evaluation operating point on a
