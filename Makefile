@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-concurrent vet lint lint-json lint-schema verify faults bench bench-smoke serve-smoke
+.PHONY: build test race race-concurrent vet lint lint-json lint-schema verify faults bench bench-smoke serve-smoke chaos chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,18 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -o /dev/null < bench-smoke.out
 	@rm -f bench-smoke.out
 
+# chaos drives the full crash-consistency matrix: every diskfault class
+# (torn write, failed fsync, pre-rename crash, ENOSPC) injected at every
+# durable-write index of a seeded workload, each followed by a restart
+# and a byte-identity check — plus the teeth test that a writer renaming
+# before fsync fails the same check.
+chaos:
+	$(GO) test -run 'TestChaos' -count=1 ./internal/service/
+
+# chaos-smoke is the CI subset: first and last crash point per class.
+chaos-smoke:
+	$(GO) test -short -run 'TestChaos' -count=1 ./internal/service/
+
 # serve-smoke boots a real nvmd daemon on a random port, submits a tiny
 # Figure 7 grid through the CLI, polls it to completion, and checks the
 # daemon drains cleanly on SIGTERM.
@@ -70,4 +82,4 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # verify is the tier-1 gate: everything CI runs, one command.
-verify: build vet test race race-concurrent lint faults bench-smoke serve-smoke
+verify: build vet test race race-concurrent lint faults bench-smoke chaos-smoke serve-smoke

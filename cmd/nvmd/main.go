@@ -1,18 +1,24 @@
 // Command nvmd is the long-running experiment daemon plus its client CLI.
 //
 //	nvmd serve   -data DIR [-addr HOST:PORT] [-job-workers N] [-queue N] [-port-file PATH]
-//	nvmd submit  -spec FILE|- [-addr URL] [-wait]
-//	nvmd status  -id JOB [-addr URL] [-partial]
-//	nvmd wait    -id JOB [-addr URL]
-//	nvmd cancel  -id JOB [-addr URL]
-//	nvmd result  -id JOB [-addr URL]
-//	nvmd metrics [-addr URL]
+//	nvmd submit  -spec FILE|- [client flags] [-wait]
+//	nvmd status  -id JOB [client flags] [-partial]
+//	nvmd wait    -id JOB [client flags]
+//	nvmd cancel  -id JOB [client flags]
+//	nvmd result  -id JOB [client flags]
+//	nvmd metrics [client flags]
 //
 // serve runs until SIGINT/SIGTERM, then drains: running jobs are
 // interrupted (their checkpoints keep every completed cell) and resume on
 // the next start. submit reads a JSON JobSpec from a file or stdin and
 // prints the assigned job; with -wait it follows the event stream and
 // exits non-zero unless the job completes.
+//
+// Every client subcommand shares the retry knobs alongside -addr:
+// -retry-attempts, -retry-base, -retry-max and -request-timeout tune the
+// internal/service/client retry policy (transient 5xx/429/transport
+// failures are retried with capped exponential backoff; 0 selects each
+// knob's documented default).
 package main
 
 import (
@@ -116,6 +122,7 @@ func cmdServe(args []string) error {
 	}
 	bound := ln.Addr().String()
 	if *portFile != "" {
+		//lint:allow durablewrite "advisory discovery file for scripts; losing it on crash is harmless and the daemon rewrites it every start"
 		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
 			_ = ln.Close()
 			mgr.Close()
@@ -151,11 +158,32 @@ func cmdServe(args []string) error {
 	return nil
 }
 
+// clientFlags registers the shared client flags (-addr plus the retry
+// knobs) on fs and returns a constructor for the configured client, to be
+// called after fs.Parse.
+func clientFlags(fs *flag.FlagSet) func() *client.Client {
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	attempts := fs.Int("retry-attempts", 0, "max attempts per request (0 = default 4; 1 disables retries)")
+	base := fs.Duration("retry-base", 0, "initial retry backoff (0 = default 50ms)")
+	maxb := fs.Duration("retry-max", 0, "retry backoff cap (0 = default 2s)")
+	timeout := fs.Duration("request-timeout", 0, "per-attempt timeout (0 = default 30s; negative disables)")
+	return func() *client.Client {
+		c := client.New(*addr)
+		c.Retry = client.RetryPolicy{
+			MaxAttempts:    *attempts,
+			BaseBackoff:    *base,
+			MaxBackoff:     *maxb,
+			RequestTimeout: *timeout,
+		}
+		return c
+	}
+}
+
 // cmdSubmit reads a JobSpec and submits it; with -wait it follows the job
 // to completion and fails unless the job is done.
 func cmdSubmit(args []string) error {
 	fs := newFlagSet("submit")
-	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	mkClient := clientFlags(fs)
 	spec := fs.String("spec", "", "JSON JobSpec file, or - for stdin (required)")
 	wait := fs.Bool("wait", false, "wait for the job to finish")
 	if err := fs.Parse(args); err != nil {
@@ -179,7 +207,7 @@ func cmdSubmit(args []string) error {
 		return fmt.Errorf("submit: parse spec: %w", err)
 	}
 
-	c := client.New(*addr)
+	c := mkClient()
 	ctx := context.Background()
 	st, err := c.Submit(ctx, js)
 	if err != nil {
@@ -205,7 +233,7 @@ func cmdSubmit(args []string) error {
 // cmdStatus prints one job's status document.
 func cmdStatus(args []string) error {
 	fs := newFlagSet("status")
-	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	mkClient := clientFlags(fs)
 	id := fs.String("id", "", "job ID (required)")
 	partial := fs.Bool("partial", false, "include checkpointed partial results")
 	if err := fs.Parse(args); err != nil {
@@ -214,7 +242,7 @@ func cmdStatus(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("status: -id is required")
 	}
-	st, err := client.New(*addr).Status(context.Background(), *id, *partial)
+	st, err := mkClient().Status(context.Background(), *id, *partial)
 	if err != nil {
 		return err
 	}
@@ -224,7 +252,7 @@ func cmdStatus(args []string) error {
 // cmdWait blocks until the job finishes and fails unless it is done.
 func cmdWait(args []string) error {
 	fs := newFlagSet("wait")
-	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	mkClient := clientFlags(fs)
 	id := fs.String("id", "", "job ID (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -232,7 +260,7 @@ func cmdWait(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("wait: -id is required")
 	}
-	st, err := client.New(*addr).Wait(context.Background(), *id)
+	st, err := mkClient().Wait(context.Background(), *id)
 	if err != nil {
 		return err
 	}
@@ -248,7 +276,7 @@ func cmdWait(args []string) error {
 // cmdCancel cancels a job.
 func cmdCancel(args []string) error {
 	fs := newFlagSet("cancel")
-	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	mkClient := clientFlags(fs)
 	id := fs.String("id", "", "job ID (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -256,7 +284,7 @@ func cmdCancel(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("cancel: -id is required")
 	}
-	st, err := client.New(*addr).Cancel(context.Background(), *id)
+	st, err := mkClient().Cancel(context.Background(), *id)
 	if err != nil {
 		return err
 	}
@@ -266,7 +294,7 @@ func cmdCancel(args []string) error {
 // cmdResult prints a done job's result document, byte-exact as stored.
 func cmdResult(args []string) error {
 	fs := newFlagSet("result")
-	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	mkClient := clientFlags(fs)
 	id := fs.String("id", "", "job ID (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -274,7 +302,7 @@ func cmdResult(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("result: -id is required")
 	}
-	raw, err := client.New(*addr).Result(context.Background(), *id)
+	raw, err := mkClient().Result(context.Background(), *id)
 	if err != nil {
 		return err
 	}
@@ -287,11 +315,11 @@ func cmdResult(args []string) error {
 // cmdMetrics prints the daemon's /metrics exposition.
 func cmdMetrics(args []string) error {
 	fs := newFlagSet("metrics")
-	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	mkClient := clientFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	text, err := client.New(*addr).Metrics(context.Background())
+	text, err := mkClient().Metrics(context.Background())
 	if err != nil {
 		return err
 	}

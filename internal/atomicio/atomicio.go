@@ -1,0 +1,154 @@
+// Package atomicio is the single durable-write primitive of the
+// repository. Every file that must survive a crash — runner checkpoints,
+// the nvmd job store (spec/ckpt/state/result) — is written through
+// WriteFile, which follows the full crash-consistency discipline:
+//
+//  1. write the document to a temporary file next to the target;
+//  2. fsync the temporary file, so its bytes are on stable storage
+//     before anything points at them;
+//  3. rename the temporary file over the target, the atomic commit
+//     point (readers see the old generation or the new one, never a
+//     mix);
+//  4. fsync the parent directory, so the rename itself survives a
+//     power failure.
+//
+// A crash before step 3 leaves the previous generation intact (plus at
+// most a stray .tmp file that the next write truncates); a crash after
+// step 3 leaves the fully synced new generation. There is no window in
+// which the target names torn data.
+//
+// The syscalls are abstracted behind the small FS interface so the
+// chaos harness (internal/diskfault) can inject torn writes, failed
+// fsyncs, pre-rename crashes and ENOSPC deterministically. Production
+// code passes OS (or nil, which selects OS).
+//
+// The maxwelint durablewrite rule enforces the discipline statically:
+// raw os.WriteFile/os.Rename calls outside this package are findings.
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// File is the write handle WriteFile drives. Close does not imply Sync:
+// data reaches stable storage only through an explicit Sync, exactly
+// like a POSIX file descriptor.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+	// Close releases the handle without flushing.
+	Close() error
+}
+
+// FS abstracts the filesystem operations the durable-write sequence
+// composes. Implementations: OS (the real filesystem) and the fault
+// filesystems in internal/diskfault.
+type FS interface {
+	// OpenFileWrite opens path for writing, creating it if missing and
+	// truncating it otherwise.
+	OpenFileWrite(path string) (File, error)
+	// ReadFile returns the contents of path. A missing file reports an
+	// error satisfying errors.Is(err, os.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir flushes dir's entry metadata, making renames within it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFileWrite(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: open dir %s: %w", dir, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	// Some filesystems refuse fsync on a directory handle; that is the
+	// platform's strongest guarantee, not a caller error.
+	if serr != nil && !errors.Is(serr, syscall.EINVAL) {
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("atomicio: close dir %s: %w", dir, cerr)
+	}
+	return nil
+}
+
+// TempSuffix is appended to the target path to name the in-flight
+// temporary file. A crash can strand one; the next WriteFile to the same
+// target truncates and reuses it, so strays never accumulate per target.
+const TempSuffix = ".tmp"
+
+// WriteFile durably replaces the contents of path with data through
+// fsys (nil selects OS): temp file → write → fsync file → rename →
+// fsync parent directory. On any error the previous generation of path
+// is untouched and the temporary file is removed best-effort.
+func WriteFile(fsys FS, path string, data []byte) error {
+	if fsys == nil {
+		fsys = OS
+	}
+	tmp := path + TempSuffix
+	f, err := fsys.OpenFileWrite(tmp)
+	if err != nil {
+		return fmt.Errorf("atomicio: create %s: %w", tmp, err)
+	}
+	if err := writeAll(f, data); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("atomicio: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("atomicio: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("atomicio: commit %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("atomicio: commit %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeAll writes data fully, converting a silent short write into an
+// error so no partial document is ever fsynced as if complete.
+func writeAll(f File, data []byte) error {
+	n, err := f.Write(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return io.ErrShortWrite
+	}
+	return nil
+}

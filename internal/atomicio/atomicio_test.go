@@ -1,0 +1,175 @@
+package atomicio_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maxwe/internal/atomicio"
+)
+
+// TestWriteFileRoundTrip writes two generations and checks each one is
+// readable, complete, and leaves no temporary file behind.
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	for _, gen := range []string{`{"gen":1}`, `{"gen":2}`} {
+		if err := atomicio.WriteFile(nil, path, []byte(gen)); err != nil {
+			t.Fatalf("WriteFile(%q): %v", gen, err)
+		}
+		got, err := atomicio.OS.ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if !bytes.Equal(got, []byte(gen)) {
+			t.Fatalf("ReadFile = %q, want %q", got, gen)
+		}
+	}
+	if _, err := os.Stat(path + atomicio.TempSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file still present after commit: %v", err)
+	}
+}
+
+// TestReadFileMissing pins the os.ErrNotExist contract callers (runner
+// checkpoint load, manager state load) rely on.
+func TestReadFileMissing(t *testing.T) {
+	_, err := atomicio.OS.ReadFile(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ReadFile(missing) = %v, want ErrNotExist", err)
+	}
+}
+
+// failStep selects which operation of the write sequence the stub FS
+// fails.
+type failStep int
+
+const (
+	failNone failStep = iota
+	failOpen
+	failWrite
+	failShortWrite
+	failSync
+	failClose
+	failRename
+)
+
+// stubFS delegates to the real filesystem but fails one chosen step, and
+// records Remove calls so tests can check temp-file cleanup.
+type stubFS struct {
+	fail    failStep
+	removed []string
+}
+
+var errStub = errors.New("stub failure")
+
+func (s *stubFS) OpenFileWrite(path string) (atomicio.File, error) {
+	if s.fail == failOpen {
+		return nil, errStub
+	}
+	f, err := atomicio.OS.OpenFileWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return &stubFile{File: f, fs: s}, nil
+}
+
+func (s *stubFS) ReadFile(path string) ([]byte, error) { return atomicio.OS.ReadFile(path) }
+
+func (s *stubFS) Rename(oldpath, newpath string) error {
+	if s.fail == failRename {
+		return errStub
+	}
+	return atomicio.OS.Rename(oldpath, newpath)
+}
+
+func (s *stubFS) Remove(path string) error {
+	s.removed = append(s.removed, path)
+	return atomicio.OS.Remove(path)
+}
+
+func (s *stubFS) SyncDir(dir string) error { return atomicio.OS.SyncDir(dir) }
+
+type stubFile struct {
+	atomicio.File
+	fs *stubFS
+}
+
+func (f *stubFile) Write(p []byte) (int, error) {
+	switch f.fs.fail {
+	case failWrite:
+		return 0, errStub
+	case failShortWrite:
+		return f.File.Write(p[:len(p)/2])
+	}
+	return f.File.Write(p)
+}
+
+func (f *stubFile) Sync() error {
+	if f.fs.fail == failSync {
+		return errStub
+	}
+	return f.File.Sync()
+}
+
+func (f *stubFile) Close() error {
+	if f.fs.fail == failClose {
+		_ = f.File.Close()
+		return errStub
+	}
+	return f.File.Close()
+}
+
+// TestWriteFilePreservesPreviousGeneration fails every step of the
+// sequence in turn and checks the invariant the whole store depends on:
+// a failed write leaves the previous generation byte-identical and
+// cleans up its temporary file.
+func TestWriteFilePreservesPreviousGeneration(t *testing.T) {
+	prev := []byte(`{"gen":"previous"}`)
+	steps := []struct {
+		name string
+		fail failStep
+	}{
+		{"open", failOpen}, {"write", failWrite}, {"short-write", failShortWrite},
+		{"sync", failSync}, {"close", failClose}, {"rename", failRename},
+	}
+	for _, tc := range steps {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.json")
+			if err := atomicio.WriteFile(nil, path, prev); err != nil {
+				t.Fatalf("seed generation: %v", err)
+			}
+			fs := &stubFS{fail: tc.fail}
+			err := atomicio.WriteFile(fs, path, []byte(`{"gen":"next"}`))
+			if err == nil {
+				t.Fatal("WriteFile succeeded despite injected failure")
+			}
+			got, rerr := atomicio.OS.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("previous generation unreadable: %v", rerr)
+			}
+			if !bytes.Equal(got, prev) {
+				t.Fatalf("previous generation mangled: %q", got)
+			}
+			if tc.fail != failOpen && len(fs.removed) == 0 {
+				t.Fatal("temporary file was not cleaned up")
+			}
+		})
+	}
+}
+
+// TestWriteFileShortWriteDetected pins that a short write surfaces as an
+// error rather than fsync-ing a truncated document.
+func TestWriteFileShortWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	fs := &stubFS{fail: failShortWrite}
+	if err := atomicio.WriteFile(fs, path, []byte("0123456789")); err == nil {
+		t.Fatal("short write went undetected")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("target exists after failed first write: %v", err)
+	}
+}

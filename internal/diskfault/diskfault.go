@@ -1,0 +1,473 @@
+// Package diskfault is the disk edition of internal/faultinject: a
+// deterministic fault injector for the durable-write path. Where
+// faultinject perturbs simulated NVM lines, diskfault perturbs the
+// daemon's own store — the checkpoint, spec, state and result files
+// written through internal/atomicio — with seeded plans covering the
+// crash points a real machine exposes:
+//
+//   - torn write: the write transfers only a seeded prefix of its data;
+//   - failed fsync: the file sync reports an error, and any unsynced
+//     data is lost if the plan also crashes;
+//   - pre-rename crash: the temporary file is fully durable but the
+//     crash lands before the rename commits it;
+//   - no space: the write fails like ENOSPC after a seeded prefix.
+//
+// A plan targets one durable write (the Nth atomicio.WriteFile issued
+// through the FS) and optionally crashes the filesystem there. A crash
+// models power loss honestly: every subsequent operation fails with
+// ErrCrashed, and — the part that makes fsync matter — data written but
+// never synced is truncated away (a seeded amount may survive, like
+// partially flushed page cache). A writer that renames before syncing
+// therefore leaves torn targets behind a crash, which is exactly what
+// the chaos harness exists to catch; NoSyncFS packages that broken
+// writer so the harness can prove it bites.
+//
+// Like every fault layer in this repository, a plan is a pure function
+// of its Config: the same seed over the same operation sequence injects
+// the same faults and keeps the same surviving bytes.
+package diskfault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync" //lint:allow nondeterminism "the fault filesystem is called from the daemon's HTTP and worker goroutines; injection decisions stay a pure function of (seed, operation sequence)"
+
+	"maxwe/internal/atomicio"
+	"maxwe/internal/xrand"
+)
+
+// Class enumerates the injectable crash-point classes.
+type Class int
+
+// The crash-point classes, in matrix order.
+const (
+	// ClassTornWrite makes the targeted write transfer only a seeded
+	// strict prefix of its data.
+	ClassTornWrite Class = iota
+	// ClassSyncFail makes the targeted write's file fsync report failure.
+	ClassSyncFail
+	// ClassPreRenameCrash crashes after the temporary file is durable but
+	// before the rename commits it (always a crash).
+	ClassPreRenameCrash
+	// ClassNoSpace makes the targeted write fail like ENOSPC after a
+	// seeded prefix.
+	ClassNoSpace
+	numClasses
+)
+
+// Classes returns every class in matrix order, for harness iteration.
+func Classes() []Class {
+	return []Class{ClassTornWrite, ClassSyncFail, ClassPreRenameCrash, ClassNoSpace}
+}
+
+// String names the class for subtest labels and logs.
+func (c Class) String() string {
+	switch c {
+	case ClassTornWrite:
+		return "torn-write"
+	case ClassSyncFail:
+		return "sync-fail"
+	case ClassPreRenameCrash:
+		return "pre-rename-crash"
+	case ClassNoSpace:
+		return "no-space"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Injected error values. ErrCrashed is joined onto the class error when
+// the plan crashes, so errors.Is works for both.
+var (
+	// ErrCrashed reports an operation issued after (or at) the injected
+	// crash: the simulated machine is off.
+	ErrCrashed = errors.New("diskfault: filesystem crashed (injected)")
+	// ErrTornWrite reports the injected short write.
+	ErrTornWrite = errors.New("diskfault: torn write (injected)")
+	// ErrSyncFail reports the injected fsync failure.
+	ErrSyncFail = errors.New("diskfault: fsync failed (injected)")
+	// ErrNoSpace reports the injected out-of-space write failure.
+	ErrNoSpace = errors.New("diskfault: no space left on device (injected)")
+)
+
+// Config parameterizes one fault plan.
+type Config struct {
+	// Seed drives every seeded choice: torn-write prefix lengths and how
+	// much unsynced data survives a crash.
+	Seed uint64 `json:"Seed"`
+	// WriteIndex is the 0-based index of the durable write to hit (each
+	// atomicio.WriteFile opens exactly one file for writing, so the index
+	// counts OpenFileWrite calls). Negative disables injection entirely —
+	// the FS only counts, for measuring a run's write sequence.
+	WriteIndex int `json:"WriteIndex"`
+	// Class selects the crash-point class injected at WriteIndex.
+	Class Class `json:"Class"`
+	// Crash, when set, turns the injection into a power failure: every
+	// later operation fails with ErrCrashed and unsynced data is
+	// truncated to a seeded surviving prefix. ClassPreRenameCrash implies
+	// Crash.
+	Crash bool `json:"Crash"`
+}
+
+func (c Config) validate() error {
+	if c.Class < 0 || c.Class >= numClasses {
+		return fmt.Errorf("diskfault: unknown class %d", int(c.Class))
+	}
+	if c.Class == ClassPreRenameCrash && c.WriteIndex >= 0 && !c.Crash {
+		return fmt.Errorf("diskfault: %v without Crash is meaningless", c.Class)
+	}
+	return nil
+}
+
+// Counters aggregates injected faults per class over one FS lifetime.
+type Counters struct {
+	// TornWrites, SyncFails, PreRenameCrashes and NoSpaceFaults count
+	// injections per class (at most one each per plan).
+	TornWrites       int64 `json:"TornWrites"`
+	SyncFails        int64 `json:"SyncFails"`
+	PreRenameCrashes int64 `json:"PreRenameCrashes"`
+	NoSpaceFaults    int64 `json:"NoSpaceFaults"`
+	// OpsAfterCrash counts operations refused because the filesystem had
+	// already crashed.
+	OpsAfterCrash int64 `json:"OpsAfterCrash"`
+	// TruncatedFiles counts files that lost unsynced data at the crash.
+	TruncatedFiles int64 `json:"TruncatedFiles"`
+}
+
+// Any reports whether any fault was injected.
+func (c Counters) Any() bool { return c != (Counters{}) }
+
+// fileState tracks one file written through the FS: how many bytes were
+// written and how many of them are known durable (synced).
+type fileState struct {
+	path   string
+	size   int64
+	synced int64
+	fired  bool
+}
+
+// FS wraps an inner atomicio.FS with one seeded fault plan. Construct
+// with New; safe for concurrent use.
+type FS struct {
+	inner atomicio.FS
+	cfg   Config
+
+	mu      sync.Mutex
+	src     *xrand.Source
+	writes  int
+	crashed bool
+	armed   *fileState
+	files   map[string]*fileState
+	count   Counters
+}
+
+// New validates cfg and wraps inner (nil selects atomicio.OS) with the
+// plan it describes.
+func New(inner atomicio.FS, cfg Config) (*FS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		inner = atomicio.OS
+	}
+	return &FS{
+		inner: inner,
+		cfg:   cfg,
+		src:   xrand.New(cfg.Seed),
+		files: make(map[string]*fileState),
+	}, nil
+}
+
+// Writes returns how many durable writes have been opened through the
+// FS — the measurement a counting pass (WriteIndex < 0) exposes so a
+// harness can enumerate every crash point of a workload.
+func (fs *FS) Writes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes
+}
+
+// Crashed reports whether the injected crash has fired.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Counters snapshots the per-class injection counters.
+func (fs *FS) Counters() Counters {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.count
+}
+
+// refuseLocked reports (and counts) an operation on a crashed FS. The
+// caller must hold fs.mu.
+func (fs *FS) refuseLocked() error {
+	if !fs.crashed {
+		return nil
+	}
+	fs.count.OpsAfterCrash++
+	return ErrCrashed
+}
+
+// truncation is one crash-time data-loss action, applied outside the
+// lock.
+type truncation struct {
+	path string
+	keep int64
+}
+
+// crashLocked marks the FS crashed and computes, per file with unsynced
+// data, the seeded surviving prefix — some unsynced bytes may have been
+// flushed opportunistically, most are lost. Paths are visited in sorted
+// order so the draws are deterministic. The caller must hold fs.mu and
+// apply the returned truncations after unlocking.
+func (fs *FS) crashLocked() []truncation {
+	fs.crashed = true
+	paths := make([]string, 0, len(fs.files))
+	for p, st := range fs.files {
+		if st.size > st.synced {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	truncs := make([]truncation, 0, len(paths))
+	for _, p := range paths {
+		st := fs.files[p]
+		unsynced := st.size - st.synced
+		survives := int64(fs.src.Intn(int(unsynced))) // strict: at least one unsynced byte is lost
+		truncs = append(truncs, truncation{path: p, keep: st.synced + survives})
+		fs.count.TruncatedFiles++
+	}
+	return truncs
+}
+
+// apply executes crash-time truncations against the real directory; it
+// must be called without holding fs.mu.
+func (fs *FS) apply(truncs []truncation) {
+	for _, tr := range truncs {
+		// Best-effort, like a power failure: a file that vanished in the
+		// meantime simply has nothing left to lose.
+		_ = os.Truncate(tr.path, tr.keep)
+	}
+}
+
+// OpenFileWrite opens path for writing through the plan, arming the
+// injection when this is the targeted durable write.
+func (fs *FS) OpenFileWrite(path string) (atomicio.File, error) {
+	fs.mu.Lock()
+	if err := fs.refuseLocked(); err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
+	idx := fs.writes
+	fs.writes++
+	st := &fileState{path: path}
+	fs.files[path] = st
+	if fs.cfg.WriteIndex >= 0 && idx == fs.cfg.WriteIndex {
+		fs.armed = st
+	}
+	fs.mu.Unlock()
+
+	f, err := fs.inner.OpenFileWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: fs, st: st, real: f}, nil
+}
+
+// ReadFile reads path; a crashed FS refuses, like the dead process it
+// models.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	err := fs.refuseLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return fs.inner.ReadFile(path)
+}
+
+// Rename commits oldpath over newpath, firing the pre-rename crash when
+// the plan targets this write.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	if err := fs.refuseLocked(); err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	st := fs.files[oldpath]
+	if st != nil && st == fs.armed && !st.fired && fs.cfg.Class == ClassPreRenameCrash {
+		st.fired = true
+		fs.count.PreRenameCrashes++
+		truncs := fs.crashLocked()
+		fs.mu.Unlock()
+		fs.apply(truncs)
+		return ErrCrashed
+	}
+	if st != nil {
+		// The tracked bytes (synced or not) now live under the new name.
+		delete(fs.files, oldpath)
+		st.path = newpath
+		fs.files[newpath] = st
+	}
+	fs.mu.Unlock()
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+// Remove deletes path (refused after the crash, so a cleanup that would
+// not have happened on the real machine does not happen here either).
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	if err := fs.refuseLocked(); err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	delete(fs.files, path)
+	fs.mu.Unlock()
+	return fs.inner.Remove(path)
+}
+
+// SyncDir flushes dir through the inner FS (or refuses after a crash).
+// Rename durability is modeled conservatively — committed renames are
+// never rolled back — so SyncDir only needs to pass through.
+func (fs *FS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	err := fs.refuseLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return fs.inner.SyncDir(dir)
+}
+
+// file is one tracked write handle.
+type file struct {
+	fs   *FS
+	st   *fileState
+	real atomicio.File
+}
+
+// Write transfers p, injecting the torn-write or no-space fault when
+// this handle is armed for one.
+func (f *file) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	if err := fs.refuseLocked(); err != nil {
+		fs.mu.Unlock()
+		return 0, err
+	}
+	fire := f.st == fs.armed && !f.st.fired && len(p) > 0 &&
+		(fs.cfg.Class == ClassTornWrite || fs.cfg.Class == ClassNoSpace)
+	var keep int
+	var classErr error
+	if fire {
+		f.st.fired = true
+		keep = fs.src.Intn(len(p)) // a strict prefix reaches the disk
+		switch fs.cfg.Class {
+		case ClassTornWrite:
+			fs.count.TornWrites++
+			classErr = ErrTornWrite
+		case ClassNoSpace:
+			fs.count.NoSpaceFaults++
+			classErr = ErrNoSpace
+		}
+	}
+	fs.mu.Unlock()
+
+	if !fire {
+		n, err := f.real.Write(p)
+		fs.mu.Lock()
+		f.st.size += int64(n)
+		fs.mu.Unlock()
+		return n, err
+	}
+	n, _ := f.real.Write(p[:keep])
+	fs.mu.Lock()
+	f.st.size += int64(n)
+	var truncs []truncation
+	if fs.cfg.Crash {
+		truncs = fs.crashLocked()
+		classErr = errors.Join(classErr, ErrCrashed)
+	}
+	fs.mu.Unlock()
+	fs.apply(truncs)
+	return n, classErr
+}
+
+// Sync flushes the handle, injecting the fsync failure when armed for
+// one; a successful sync marks the written bytes durable.
+func (f *file) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	if err := fs.refuseLocked(); err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if f.st == fs.armed && !f.st.fired && fs.cfg.Class == ClassSyncFail {
+		f.st.fired = true
+		fs.count.SyncFails++
+		classErr := error(ErrSyncFail)
+		var truncs []truncation
+		if fs.cfg.Crash {
+			truncs = fs.crashLocked()
+			classErr = errors.Join(classErr, ErrCrashed)
+		}
+		fs.mu.Unlock()
+		fs.apply(truncs)
+		return classErr
+	}
+	fs.mu.Unlock()
+	if err := f.real.Sync(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	f.st.synced = f.st.size
+	fs.mu.Unlock()
+	return nil
+}
+
+// Close releases the real handle. The file descriptor is freed even
+// after a crash (the kernel of the dead machine is gone, the test
+// process's resources are not), but the crash is still reported.
+func (f *file) Close() error {
+	err := f.real.Close()
+	fs := f.fs
+	fs.mu.Lock()
+	crashed := fs.crashed
+	fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return err
+}
+
+// NoSyncFS wraps inner with a writer that lies about durability: file
+// Sync and directory SyncDir report success without syncing anything, so
+// every rename commits data the disk never promised to keep — the
+// "rename before fsync" write order. It exists so the chaos harness can
+// prove it detects the broken discipline; never use it in production
+// code.
+func NoSyncFS(inner atomicio.FS) atomicio.FS { return noSyncFS{inner: inner} }
+
+type noSyncFS struct{ inner atomicio.FS }
+
+func (n noSyncFS) OpenFileWrite(path string) (atomicio.File, error) {
+	f, err := n.inner.OpenFileWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return noSyncFile{File: f}, nil
+}
+
+func (n noSyncFS) ReadFile(path string) ([]byte, error) { return n.inner.ReadFile(path) }
+func (n noSyncFS) Rename(oldpath, newpath string) error { return n.inner.Rename(oldpath, newpath) }
+func (n noSyncFS) Remove(path string) error             { return n.inner.Remove(path) }
+func (n noSyncFS) SyncDir(string) error                 { return nil }
+
+type noSyncFile struct{ atomicio.File }
+
+// Sync lies: it reports success without flushing anything.
+func (noSyncFile) Sync() error { return nil }

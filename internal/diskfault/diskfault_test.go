@@ -1,0 +1,261 @@
+package diskfault_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maxwe/internal/atomicio"
+	"maxwe/internal/diskfault"
+)
+
+// mustNew builds a fault FS over the real filesystem or fails the test.
+func mustNew(t *testing.T, cfg diskfault.Config) *diskfault.FS {
+	t.Helper()
+	fs, err := diskfault.New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return fs
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := diskfault.New(nil, diskfault.Config{Class: diskfault.Class(99)}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := diskfault.New(nil, diskfault.Config{WriteIndex: 0, Class: diskfault.ClassPreRenameCrash}); err == nil {
+		t.Fatal("pre-rename-crash without Crash accepted")
+	}
+	// Counting-only plans may name any class; nothing ever fires.
+	if _, err := diskfault.New(nil, diskfault.Config{WriteIndex: -1, Class: diskfault.ClassPreRenameCrash}); err != nil {
+		t.Fatalf("counting-only plan rejected: %v", err)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range diskfault.Classes() {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("class %d has empty or duplicate name %q", int(c), s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("Classes() = %d entries, want 4", len(seen))
+	}
+}
+
+// TestCountingPass pins the measurement mode: WriteIndex < 0 injects
+// nothing and Writes() reports how many durable writes the workload
+// issued.
+func TestCountingPass(t *testing.T) {
+	dir := t.TempDir()
+	fs := mustNew(t, diskfault.Config{WriteIndex: -1})
+	for i, name := range []string{"a.json", "b.json", "c.json"} {
+		if err := atomicio.WriteFile(fs, filepath.Join(dir, name), []byte{byte(i)}); err != nil {
+			t.Fatalf("WriteFile %s: %v", name, err)
+		}
+	}
+	if got := fs.Writes(); got != 3 {
+		t.Fatalf("Writes() = %d, want 3", got)
+	}
+	if fs.Counters().Any() {
+		t.Fatalf("counting pass injected faults: %+v", fs.Counters())
+	}
+	if fs.Crashed() {
+		t.Fatal("counting pass crashed")
+	}
+}
+
+// TestFaultsPreservePreviousGeneration drives atomicio.WriteFile into
+// every non-crash fault class and checks the previous generation of the
+// target survives byte-identical.
+func TestFaultsPreservePreviousGeneration(t *testing.T) {
+	prev := []byte(`{"gen":"previous"}`)
+	cases := []struct {
+		class diskfault.Class
+		want  error
+	}{
+		{diskfault.ClassTornWrite, diskfault.ErrTornWrite},
+		{diskfault.ClassSyncFail, diskfault.ErrSyncFail},
+		{diskfault.ClassNoSpace, diskfault.ErrNoSpace},
+	}
+	for _, tc := range cases {
+		t.Run(tc.class.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.json")
+			if err := atomicio.WriteFile(nil, path, prev); err != nil {
+				t.Fatalf("seed generation: %v", err)
+			}
+			fs := mustNew(t, diskfault.Config{Seed: 11, WriteIndex: 0, Class: tc.class})
+			err := atomicio.WriteFile(fs, path, []byte(`{"gen":"next, much longer than before"}`))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("WriteFile error = %v, want %v", err, tc.want)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || !bytes.Equal(got, prev) {
+				t.Fatalf("previous generation mangled: %q, %v", got, rerr)
+			}
+			if _, serr := os.Stat(path + atomicio.TempSuffix); !errors.Is(serr, os.ErrNotExist) {
+				t.Fatalf("temp file left behind: %v", serr)
+			}
+			if !fs.Counters().Any() {
+				t.Fatal("no fault counted")
+			}
+			if fs.Crashed() {
+				t.Fatal("non-crash plan crashed")
+			}
+		})
+	}
+}
+
+// TestPreRenameCrash checks the crash lands after the temp file is
+// durable but before the commit: the target keeps its previous
+// generation and every later operation reports ErrCrashed.
+func TestPreRenameCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	prev := []byte(`{"gen":"previous"}`)
+	if err := atomicio.WriteFile(nil, path, prev); err != nil {
+		t.Fatalf("seed generation: %v", err)
+	}
+	fs := mustNew(t, diskfault.Config{Seed: 5, WriteIndex: 0, Class: diskfault.ClassPreRenameCrash, Crash: true})
+	err := atomicio.WriteFile(fs, path, []byte(`{"gen":"next"}`))
+	if !errors.Is(err, diskfault.ErrCrashed) {
+		t.Fatalf("WriteFile error = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after pre-rename crash")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || !bytes.Equal(got, prev) {
+		t.Fatalf("previous generation mangled: %q, %v", got, rerr)
+	}
+	// The fully synced temp file survives the crash intact; only the
+	// rename is lost. The next boot's write truncates and replaces it.
+	if _, err := os.Stat(path + atomicio.TempSuffix); err != nil {
+		t.Fatalf("durable temp file missing after crash: %v", err)
+	}
+	if _, err := fs.ReadFile(path); !errors.Is(err, diskfault.ErrCrashed) {
+		t.Fatalf("ReadFile after crash = %v, want ErrCrashed", err)
+	}
+	if err := atomicio.WriteFile(fs, path, []byte("x")); !errors.Is(err, diskfault.ErrCrashed) {
+		t.Fatalf("WriteFile after crash = %v, want ErrCrashed", err)
+	}
+	c := fs.Counters()
+	if c.PreRenameCrashes != 1 || c.OpsAfterCrash == 0 {
+		t.Fatalf("counters = %+v, want 1 pre-rename crash and refused ops", c)
+	}
+}
+
+// TestCrashJoinsClassError pins that a crashing torn write satisfies
+// errors.Is for both the class error and ErrCrashed.
+func TestCrashJoinsClassError(t *testing.T) {
+	dir := t.TempDir()
+	fs := mustNew(t, diskfault.Config{Seed: 3, WriteIndex: 0, Class: diskfault.ClassTornWrite, Crash: true})
+	err := atomicio.WriteFile(fs, filepath.Join(dir, "f.json"), []byte("0123456789"))
+	if !errors.Is(err, diskfault.ErrTornWrite) || !errors.Is(err, diskfault.ErrCrashed) {
+		t.Fatalf("error = %v, want both ErrTornWrite and ErrCrashed", err)
+	}
+}
+
+// brokenWrite commits one generation of path with the rename-before-fsync
+// write order (via NoSyncFS) over the given fault FS.
+func brokenWrite(t *testing.T, fs *diskfault.FS, path string, data []byte) error {
+	t.Helper()
+	return atomicio.WriteFile(diskfault.NoSyncFS(fs), path, data)
+}
+
+// TestCrashTearsUnsyncedRenames is the teeth of the whole layer: a
+// writer that renames before fsync leaves its committed target torn by
+// the crash, while the correct discipline keeps it byte-identical.
+func TestCrashTearsUnsyncedRenames(t *testing.T) {
+	payload := bytes.Repeat([]byte("durability is a promise, not a hope. "), 40)
+
+	// Broken writer: target A is committed by rename but never synced.
+	// The crash (fired by write #1 against target B) truncates it.
+	dirBroken := t.TempDir()
+	a := filepath.Join(dirBroken, "a.json")
+	fsBroken := mustNew(t, diskfault.Config{Seed: 21, WriteIndex: 1, Class: diskfault.ClassPreRenameCrash, Crash: true})
+	if err := brokenWrite(t, fsBroken, a, payload); err != nil {
+		t.Fatalf("broken commit of a.json: %v", err)
+	}
+	if err := brokenWrite(t, fsBroken, filepath.Join(dirBroken, "b.json"), payload); !errors.Is(err, diskfault.ErrCrashed) {
+		t.Fatalf("second write = %v, want ErrCrashed", err)
+	}
+	gotBroken, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatalf("read a.json: %v", err)
+	}
+	if len(gotBroken) >= len(payload) {
+		t.Fatalf("unsynced renamed target survived the crash whole (%d bytes); the broken write order went unpunished", len(gotBroken))
+	}
+	if !bytes.HasPrefix(payload, gotBroken) {
+		t.Fatal("surviving bytes are not a prefix of the written data")
+	}
+	if fsBroken.Counters().TruncatedFiles == 0 {
+		t.Fatalf("counters = %+v, want truncated files", fsBroken.Counters())
+	}
+
+	// Correct writer, same plan and seed: A was fsynced before its
+	// rename, so the crash cannot touch it.
+	dirGood := t.TempDir()
+	ag := filepath.Join(dirGood, "a.json")
+	fsGood := mustNew(t, diskfault.Config{Seed: 21, WriteIndex: 1, Class: diskfault.ClassPreRenameCrash, Crash: true})
+	if err := atomicio.WriteFile(fsGood, ag, payload); err != nil {
+		t.Fatalf("commit of a.json: %v", err)
+	}
+	if err := atomicio.WriteFile(fsGood, filepath.Join(dirGood, "b.json"), payload); !errors.Is(err, diskfault.ErrCrashed) {
+		t.Fatalf("second write = %v, want ErrCrashed", err)
+	}
+	gotGood, err := os.ReadFile(ag)
+	if err != nil || !bytes.Equal(gotGood, payload) {
+		t.Fatalf("synced committed target damaged by crash: %d bytes, %v", len(gotGood), err)
+	}
+}
+
+// TestDeterminism runs the same plan over the same operation sequence
+// twice and checks the surviving bytes and counters are identical.
+func TestDeterminism(t *testing.T) {
+	run := func(dir string) ([]byte, diskfault.Counters) {
+		fs := mustNew(t, diskfault.Config{Seed: 99, WriteIndex: 1, Class: diskfault.ClassPreRenameCrash, Crash: true})
+		a := filepath.Join(dir, "a.json")
+		payload := bytes.Repeat([]byte("0123456789abcdef"), 32)
+		if err := brokenWrite(t, fs, a, payload); err != nil {
+			t.Fatalf("first write: %v", err)
+		}
+		if err := brokenWrite(t, fs, filepath.Join(dir, "b.json"), payload); !errors.Is(err, diskfault.ErrCrashed) {
+			t.Fatalf("second write = %v, want ErrCrashed", err)
+		}
+		got, err := os.ReadFile(a)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		return got, fs.Counters()
+	}
+	b1, c1 := run(t.TempDir())
+	b2, c2 := run(t.TempDir())
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("surviving bytes differ across identical runs: %d vs %d", len(b1), len(b2))
+	}
+	if c1 != c2 {
+		t.Fatalf("counters differ across identical runs: %+v vs %+v", c1, c2)
+	}
+}
+
+// TestTornWriteIsStrictPrefix pins that the injected torn write always
+// loses at least one byte — otherwise it would not be torn.
+func TestTornWriteIsStrictPrefix(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.json")
+		fs := mustNew(t, diskfault.Config{Seed: seed, WriteIndex: 0, Class: diskfault.ClassTornWrite})
+		err := atomicio.WriteFile(fs, path, []byte("0123456789"))
+		if !errors.Is(err, diskfault.ErrTornWrite) {
+			t.Fatalf("seed %d: error = %v", seed, err)
+		}
+	}
+}

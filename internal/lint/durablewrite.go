@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Durablewrite enforces the crash-consistency discipline: durable state
+// must reach disk through internal/atomicio (temp file → write → fsync →
+// rename → fsync parent), so a raw os.WriteFile or os.Rename anywhere
+// else is a torn-write hazard waiting for a power cut. Only
+// internal/atomicio itself — the one place the discipline is implemented
+// — may call them; a sanctioned advisory write elsewhere carries a
+// line-level //lint:allow durablewrite directive with its reason.
+var Durablewrite = &Analyzer{
+	Name: "durablewrite",
+	Doc: "forbid raw os.WriteFile / os.Rename outside internal/atomicio; " +
+		"durable state goes through atomicio.WriteFile (or the atomicio.FS " +
+		"interface) so every write is atomic and fsynced in the right order",
+	Run: runDurablewrite,
+}
+
+// atomicioDir is the one package whose job is issuing raw writes and
+// renames in the durable order; the rule does not report inside it.
+const atomicioDir = "internal/atomicio"
+
+// durableBannedCalls maps fully qualified function names to the hazard a
+// raw call creates.
+var durableBannedCalls = map[string]string{
+	"os.WriteFile": "a torn write on crash leaves a partial file with no previous generation; use atomicio.WriteFile",
+	"os.Rename":    "a rename without the temp-write-fsync prelude can publish unsynced bytes; use atomicio.WriteFile or the atomicio.FS interface",
+}
+
+func runDurablewrite(p *Pass) {
+	if p.Pkg.Dir == atomicioDir {
+		return
+	}
+	p.inspectFiles(func(_ *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		if reason, ok := durableBannedCalls[fn.FullName()]; ok {
+			p.Reportf(call.Pos(), "call to %s: %s", fn.FullName(), reason)
+		}
+		return true
+	})
+}

@@ -25,6 +25,9 @@
 //   - jsonschema — every struct field reachable from the configured
 //     marshal roots carries an explicit json tag, and the rendered
 //     schema matches its golden file.
+//   - durablewrite — raw os.WriteFile / os.Rename are forbidden outside
+//     internal/atomicio; durable state goes through atomicio.WriteFile
+//     so a crash can never tear a committed file.
 //
 // There are no directory-level waivers: a finding is silenced only by a
 // line-level directive, //lint:allow <rule> "reason", whose reason is
@@ -80,7 +83,7 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		Nondeterminism, Floatcmp, Panicmsg, Exporteddoc, Errdrop,
-		Dettaint, Ctxprop, Mutexblocking, Jsonschema,
+		Dettaint, Ctxprop, Mutexblocking, Jsonschema, Durablewrite,
 	}
 }
 

@@ -57,6 +57,7 @@ func TestGolden(t *testing.T) {
 			cfg.SchemaGolden = map[string]string{}
 			return cfg
 		}},
+		{"durablewrite", Durablewrite, nil},
 		{"allow", Nondeterminism, nil},
 	}
 	for _, tc := range cases {
@@ -154,7 +155,7 @@ func TestRepoIsClean(t *testing.T) {
 // the corpus must go unmatched.
 func TestGoldenFailsWithRuleDisabled(t *testing.T) {
 	root := moduleRoot(t)
-	for _, dir := range []string{"dettaint", "ctxprop", "mutexblocking", "jsonschema"} {
+	for _, dir := range []string{"dettaint", "ctxprop", "mutexblocking", "jsonschema", "durablewrite"} {
 		t.Run(dir, func(t *testing.T) {
 			path := filepath.Join("internal", "lint", "testdata", "src", dir)
 			failures, err := RunGolden(root, path, nil, nil)

@@ -1,0 +1,61 @@
+// Package durablewrite exercises the durablewrite rule: raw
+// os.WriteFile and os.Rename calls are torn-write hazards and are
+// flagged; reads, removes, same-named local helpers and //lint:allow
+// directives with a reason are not.
+package durablewrite
+
+import "os"
+
+// Bad publishes durable state with the raw primitives in both shapes the
+// rule catches.
+func Bad(path string, data []byte) error {
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil { // want `call to os.WriteFile: a torn write on crash leaves a partial file`
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `call to os.Rename: a rename without the temp-write-fsync prelude`
+}
+
+// Good touches the filesystem in ways that cannot tear durable state.
+func Good(path string) error {
+	if _, err := os.ReadFile(path); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(path+".d", 0o755); err != nil {
+		return err
+	}
+	return os.Remove(path + ".d")
+}
+
+// store is a local type whose methods shadow the banned names; calls to
+// them resolve to this package, not os, and are not findings.
+type store struct{}
+
+// WriteFile is a same-named local helper the rule must not confuse with
+// os.WriteFile.
+func (store) WriteFile(path string, data []byte) error { return nil }
+
+// Rename is a same-named local helper the rule must not confuse with
+// os.Rename.
+func (store) Rename(oldpath, newpath string) error { return nil }
+
+// Locals drives the same-named helpers and a package-local WriteFile.
+func Locals() error {
+	var s store
+	if err := s.WriteFile("x", nil); err != nil {
+		return err
+	}
+	if err := s.Rename("x", "y"); err != nil {
+		return err
+	}
+	return WriteFile("x", nil)
+}
+
+// WriteFile is a package-level function sharing os.WriteFile's name.
+func WriteFile(path string, data []byte) error { return nil }
+
+// Sanctioned is the advisory-write escape hatch: a line-level directive
+// with a reason waives the finding at exactly this site.
+func Sanctioned(path string, data []byte) error {
+	//lint:allow durablewrite "golden corpus: advisory file whose loss on crash is harmless"
+	return os.WriteFile(path, data, 0o644)
+}

@@ -46,6 +46,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"maxwe/internal/atomicio"
 )
 
 // Cell is one unit of sweep work. Key must be unique within the sweep and
@@ -86,6 +88,18 @@ type Config struct {
 	// exact sequential path. Results, Failed and checkpoint contents are
 	// bit-identical across parallelism levels; see the package comment.
 	Parallelism int
+	// FS is the filesystem checkpoints are read and written through. Nil
+	// selects the real filesystem (atomicio.OS); the chaos harness passes
+	// a fault-injecting implementation.
+	FS atomicio.FS
+}
+
+// fs resolves the configured filesystem, defaulting to the real one.
+func (c Config) fs() atomicio.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return atomicio.OS
 }
 
 // parallelism resolves the configured worker count: the 0 default means
@@ -315,7 +329,7 @@ func loadCheckpoint(cfg Config) (checkpoint, error) {
 	if cfg.CheckpointPath == "" {
 		return ckpt, nil
 	}
-	data, err := os.ReadFile(cfg.CheckpointPath)
+	data, err := cfg.fs().ReadFile(cfg.CheckpointPath)
 	if errors.Is(err, os.ErrNotExist) {
 		ckpt.Fingerprint = cfg.Fingerprint
 		return ckpt, nil
@@ -340,9 +354,10 @@ func loadCheckpoint(cfg Config) (checkpoint, error) {
 	return ckpt, nil
 }
 
-// saveCheckpoint records one completed cell and atomically rewrites the
-// checkpoint file (write to a temp file, then rename over the target), so
-// a crash mid-write never leaves a truncated checkpoint behind.
+// saveCheckpoint records one completed cell and durably rewrites the
+// checkpoint file through atomicio.WriteFile (temp file, fsync, rename,
+// fsync parent directory), so a crash mid-write never leaves a truncated
+// checkpoint behind and a completed rename survives power loss.
 func saveCheckpoint[T any](cfg Config, ckpt checkpoint, key string, v T) error {
 	if cfg.CheckpointPath == "" {
 		return nil
@@ -356,12 +371,8 @@ func saveCheckpoint[T any](cfg Config, ckpt checkpoint, key string, v T) error {
 	if err != nil {
 		return fmt.Errorf("runner: marshal checkpoint: %w", err)
 	}
-	tmp := cfg.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(cfg.fs(), cfg.CheckpointPath, data); err != nil {
 		return fmt.Errorf("runner: write checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, cfg.CheckpointPath); err != nil {
-		return fmt.Errorf("runner: commit checkpoint: %w", err)
 	}
 	return nil
 }

@@ -1,25 +1,109 @@
-// Package client is the thin Go client for the nvmd HTTP API. It
+// Package client is the robust Go client for the nvmd HTTP API. It
 // round-trips exactly the JSON documents internal/service serves —
-// JobSpec in, JobStatus/Event/result bytes out — and adds the one
-// convenience a CLI needs: Wait, which follows the event stream to a
-// terminal state and falls back to polling if the stream breaks (for
-// example across a daemon restart).
+// JobSpec in, JobStatus/Event/result bytes out — and hardens the network
+// edge the way the daemon's store hardens the disk edge:
+//
+//   - every unary request runs under a per-attempt timeout and is retried
+//     on transient failure (transport errors, HTTP 5xx, HTTP 429) with
+//     capped exponential backoff on a deterministic schedule (no jitter,
+//     so a retried interaction is reproducible);
+//   - a 429 carrying Retry-After is honored: the client waits at least as
+//     long as the server asked before the next attempt, which turns a
+//     full job queue into graceful backpressure instead of an error;
+//   - Submit sends an Idempotency-Key header (one random token per
+//     logical submission, stable across its retries), so a retry whose
+//     predecessor actually reached the daemon returns the original job
+//     instead of creating a duplicate;
+//   - Wait follows the event stream to a terminal state and degrades to
+//     polling with capped exponential backoff that resets whenever
+//     progress is observed, so it stays responsive on an active job and
+//     cheap on a stalled one, and it returns promptly on context
+//     cancellation.
 package client
 
 import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"maxwe/internal/service"
 )
+
+// RetryPolicy tunes the client's unary-request retry loop. The zero
+// value selects the defaults documented per field.
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times a request is tried in total
+	// (default 4; 1 disables retries). Negative is invalid.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it up to MaxBackoff (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential schedule (default 2s).
+	MaxBackoff time.Duration
+	// RequestTimeout bounds each individual attempt of a unary request
+	// (default 30s; negative disables the per-attempt timeout). The
+	// long-lived event stream is exempt — it is bounded by its context.
+	RequestTimeout time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseBackoff
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxBackoff <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxBackoff
+}
+
+func (p RetryPolicy) timeout() time.Duration {
+	switch {
+	case p.RequestTimeout < 0:
+		return 0
+	case p.RequestTimeout == 0:
+		return 30 * time.Second
+	default:
+		return p.RequestTimeout
+	}
+}
+
+// Backoff returns the deterministic delay before retry number retry
+// (1-based): min(BaseBackoff << (retry-1), MaxBackoff). Exported so
+// callers (and tests) can reason about the exact schedule.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	d := p.base()
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.max() {
+			return p.max()
+		}
+	}
+	if d > p.max() {
+		return p.max()
+	}
+	return d
+}
 
 // Client talks to one nvmd daemon.
 type Client struct {
@@ -27,9 +111,13 @@ type Client struct {
 	BaseURL string
 	// HTTPClient is the transport; nil selects http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry tunes timeouts and the retry/backoff schedule; the zero value
+	// selects the RetryPolicy defaults.
+	Retry RetryPolicy
 }
 
-// New returns a client for the daemon at baseURL.
+// New returns a client for the daemon at baseURL with the default retry
+// policy.
 func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
 }
@@ -41,22 +129,49 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// HTTPError is a non-2xx response, carrying the server's message and the
+// Retry-After hint when the server sent one.
+type HTTPError struct {
+	// Method and Path identify the request.
+	Method, Path string
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's {"error": ...} body, if any.
+	Message string
+	// RetryAfter is the parsed Retry-After header (0 when absent).
+	RetryAfter time.Duration
+}
+
+// Error renders the conventional client error string.
+func (e *HTTPError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("client: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("client: %s %s: HTTP %d", e.Method, e.Path, e.StatusCode)
+}
+
+// Temporary reports whether the response may succeed on retry: server
+// errors and explicit backpressure (429) are temporary, client errors are
+// not.
+func (e *HTTPError) Temporary() bool {
+	return e.StatusCode >= 500 || e.StatusCode == http.StatusTooManyRequests
+}
+
 // apiError is the {"error": "..."} body every non-2xx response carries.
 type apiError struct {
 	Error string `json:"error"`
 }
 
-// do issues one request and decodes a 2xx JSON body into out (skipped
-// when out is nil). Non-2xx responses become errors carrying the server's
-// message and status code.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// attempt issues one request. header entries are added to the request.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, header http.Header) error {
+	if t := c.Retry.timeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
 	var reqBody io.Reader
 	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("client: marshal request: %w", err)
-		}
-		reqBody = bytes.NewReader(raw)
+		reqBody = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reqBody)
 	if err != nil {
@@ -64,6 +179,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -75,11 +195,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return fmt.Errorf("client: read %s %s response: %w", method, path, err)
 	}
 	if resp.StatusCode/100 != 2 {
+		he := &HTTPError{Method: method, Path: path, StatusCode: resp.StatusCode}
 		var ae apiError
-		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		if json.Unmarshal(raw, &ae) == nil {
+			he.Message = ae.Error
 		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+			he.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return he
 	}
 	if out == nil {
 		return nil
@@ -94,11 +218,85 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// retryable classifies an attempt error: transport failures and temporary
+// HTTP statuses are worth another attempt, everything else (4xx, decode
+// errors) is final.
+func retryable(err error) bool {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Temporary()
+	}
+	// Not an HTTP response at all: the request never completed (connection
+	// refused, reset, attempt timeout) — exactly what retries are for.
+	return true
+}
+
+// retryAfter extracts the server's Retry-After hint from an attempt
+// error, 0 when there is none.
+func retryAfter(err error) time.Duration {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
+}
+
+// do issues a request with retries: up to Retry.MaxAttempts attempts,
+// capped exponential backoff between them, honoring Retry-After, stopping
+// early when ctx is canceled or the error is not retryable. body is
+// marshaled once and replayed per attempt.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, header http.Header) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		raw, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+	}
+	var last error
+	for attempt := 1; attempt <= c.Retry.attempts(); attempt++ {
+		last = c.attempt(ctx, method, path, raw, out, header)
+		if last == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !retryable(last) || attempt == c.Retry.attempts() {
+			return last
+		}
+		wait := c.Retry.Backoff(attempt)
+		if ra := retryAfter(last); ra > wait {
+			wait = ra
+		}
+		select {
+		case <-ctx.Done():
+			return last
+		case <-time.After(wait):
+		}
+	}
+	return last
+}
+
+// newIdempotencyKey draws the random token that makes a retried Submit
+// safe. Randomness (rather than hashing the spec) is deliberate: two
+// intentional submissions of the same spec are distinct jobs.
+func newIdempotencyKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("client: idempotency key: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
 // Submit submits a job and returns its initial status (including the
-// assigned ID).
+// assigned ID). The submission carries one idempotency key across all its
+// retries, so an attempt whose response was lost is not duplicated.
 func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	key, err := newIdempotencyKey()
+	if err != nil {
+		return service.JobStatus{}, err
+	}
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st, http.Header{"Idempotency-Key": {key}})
 	return st, err
 }
 
@@ -110,14 +308,14 @@ func (c *Client) Status(ctx context.Context, id string, partial bool) (service.J
 		path += "?partial=1"
 	}
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	err := c.do(ctx, http.MethodGet, path, nil, &st, nil)
 	return st, err
 }
 
 // Jobs lists every job on the daemon.
 func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
 	var out []service.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out, nil)
 	return out, err
 }
 
@@ -125,32 +323,34 @@ func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
 // bytes the daemon persisted.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	var raw []byte
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw, nil)
 	return raw, err
 }
 
 // Cancel cancels a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
 	var st service.JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st, nil)
 	return st, err
 }
 
 // Metrics fetches the /metrics exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	var raw []byte
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw)
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw, nil)
 	return string(raw), err
 }
 
 // Healthz probes the daemon.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, nil)
 }
 
 // Events streams the job's NDJSON progress events, calling fn for each
 // one until the stream ends (terminal job state), fn returns an error, or
-// ctx is canceled. Returning io.EOF from fn stops the stream cleanly.
+// ctx is canceled. Returning io.EOF from fn stops the stream cleanly. The
+// stream is not retried — callers that need resilience across daemon
+// restarts use Wait, which reconnects around this method.
 func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
@@ -193,15 +393,26 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) e
 	return nil
 }
 
-// WaitPollInterval is the fallback polling cadence Wait uses when the
-// event stream is unavailable (e.g. the daemon restarted mid-wait).
-const WaitPollInterval = 200 * time.Millisecond
+// Wait poll backoff bounds: the fallback poll starts at WaitBaseBackoff
+// after a silent check and doubles up to WaitMaxBackoff; any observed
+// progress (state change or newly completed cells) resets it to the base,
+// so an active job is polled eagerly and a stalled one cheaply.
+const (
+	// WaitBaseBackoff is the initial (and post-progress) poll delay.
+	WaitBaseBackoff = 100 * time.Millisecond
+	// WaitMaxBackoff caps the poll delay while nothing changes.
+	WaitMaxBackoff = 2 * time.Second
+)
 
 // Wait blocks until the job reaches a terminal state and returns its
 // final status. It prefers the event stream (no polling) and degrades to
-// polling when the stream breaks, so it survives a daemon restart
-// mid-job.
+// polling with capped exponential backoff when the stream breaks, so it
+// survives a daemon restart mid-job; progress observed in a poll resets
+// the backoff. It returns promptly when ctx is canceled.
 func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	backoff := WaitBaseBackoff
+	lastState := service.State("")
+	lastDone := -1
 	for {
 		st, err := c.Status(ctx, id, false)
 		if err != nil {
@@ -210,8 +421,12 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 		if st.State.Terminal() {
 			return st, nil
 		}
+		if st.State != lastState || st.CellsDone > lastDone {
+			lastState, lastDone = st.State, st.CellsDone
+			backoff = WaitBaseBackoff
+		}
 		// Follow the stream until it ends; errors here mean the daemon
-		// went away mid-stream, which polling absorbs.
+		// went away mid-stream, which the poll loop absorbs.
 		_ = c.Events(ctx, id, func(ev service.Event) error {
 			if ev.Type == "state" && ev.State.Terminal() {
 				return io.EOF
@@ -222,13 +437,23 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 			return service.JobStatus{}, fmt.Errorf("client: wait %s: %w", id, err)
 		}
 		st, err = c.Status(ctx, id, false)
-		if err == nil && st.State.Terminal() {
-			return st, nil
+		if err == nil {
+			if st.State.Terminal() {
+				return st, nil
+			}
+			if st.State != lastState || st.CellsDone > lastDone {
+				lastState, lastDone = st.State, st.CellsDone
+				backoff = WaitBaseBackoff
+			}
 		}
 		select {
 		case <-ctx.Done():
 			return service.JobStatus{}, fmt.Errorf("client: wait %s: %w", id, ctx.Err())
-		case <-time.After(WaitPollInterval):
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > WaitMaxBackoff {
+			backoff = WaitMaxBackoff
 		}
 	}
 }

@@ -1,0 +1,259 @@
+// Unit tests for the client's retry/backoff machinery against injected
+// flaky servers: transient 5xx, 429 with Retry-After, hung requests
+// (per-attempt timeouts), non-retryable client errors, idempotency-key
+// stability across retries, and Wait's poll fallback behavior.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxwe/internal/service"
+	"maxwe/internal/service/client"
+)
+
+// fastRetry is a tight deterministic schedule for tests.
+func fastRetry() client.RetryPolicy {
+	return client.RetryPolicy{
+		MaxAttempts:    4,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     4 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+	}
+}
+
+func TestRetryPolicyBackoffSchedule(t *testing.T) {
+	p := client.RetryPolicy{BaseBackoff: 50 * time.Millisecond, MaxBackoff: 300 * time.Millisecond}
+	want := []time.Duration{
+		50 * time.Millisecond,  // retry 1
+		100 * time.Millisecond, // retry 2
+		200 * time.Millisecond, // retry 3
+		300 * time.Millisecond, // retry 4: capped
+		300 * time.Millisecond, // retry 5: stays capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// writeStatus serves a minimal JobStatus document.
+func writeStatus(w http.ResponseWriter, st service.JobStatus) {
+	w.Header().Set("Content-Type", "application/json")
+	raw, err := json.Marshal(st)
+	if err != nil {
+		panic(err)
+	}
+	_, _ = w.Write(raw)
+}
+
+// TestRetriesTransient5xx pins bounded recovery from a server that heals:
+// two 503s, then success.
+func TestRetriesTransient5xx(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		writeStatus(w, service.JobStatus{ID: "job-000001", State: service.StateQueued})
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	st, err := c.Status(context.Background(), "job-000001", false)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.ID != "job-000001" || hits.Load() != 3 {
+		t.Fatalf("status %+v after %d attempts, want success on attempt 3", st, hits.Load())
+	}
+}
+
+// TestHonorsRetryAfter pins that an explicit server hint stretches the
+// backoff: the retry after a 429 + Retry-After: 1 waits at least a
+// second, even though the policy's own schedule is milliseconds.
+func TestHonorsRetryAfter(t *testing.T) {
+	var times []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		times = append(times, time.Now())
+		if len(times) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		writeStatus(w, service.JobStatus{ID: "job-000001"})
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	if _, err := c.Status(context.Background(), "job-000001", false); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("saw %d attempts, want 2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < time.Second {
+		t.Fatalf("retry came after %v, want >= 1s per Retry-After", gap)
+	}
+}
+
+// TestNoRetryOnClientError pins that 4xx responses are final: one
+// attempt, a typed HTTPError, and the conventional message format.
+func TestNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error": "service: no such job"}`))
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	_, err := c.Status(context.Background(), "job-000042", false)
+	var he *client.HTTPError
+	if !errors.As(err, &he) || he.StatusCode != http.StatusNotFound {
+		t.Fatalf("error = %v, want *HTTPError 404", err)
+	}
+	if he.Temporary() {
+		t.Fatal("404 must not classify as temporary")
+	}
+	if !strings.Contains(err.Error(), "(HTTP 404)") || !strings.Contains(err.Error(), "no such job") {
+		t.Fatalf("error text = %q, want conventional format", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("saw %d attempts on a 404, want exactly 1", hits.Load())
+	}
+}
+
+// TestAttemptTimeoutRetries pins the per-attempt timeout: a request that
+// hangs is abandoned and retried, and the retry succeeds.
+func TestAttemptTimeoutRetries(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			<-r.Context().Done() // hang until the client gives up
+			return
+		}
+		writeStatus(w, service.JobStatus{ID: "job-000001"})
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	c.Retry.RequestTimeout = 50 * time.Millisecond
+	st, err := c.Status(context.Background(), "job-000001", false)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.ID != "job-000001" || hits.Load() != 2 {
+		t.Fatalf("status %+v after %d attempts, want success on the retry", st, hits.Load())
+	}
+}
+
+// TestSubmitKeyStableAcrossRetries pins the idempotency contract: every
+// attempt of one Submit carries the same non-empty Idempotency-Key, and a
+// second Submit draws a fresh one.
+func TestSubmitKeyStableAcrossRetries(t *testing.T) {
+	var keys []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		if len(keys) == 1 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeStatus(w, service.JobStatus{ID: "job-000001"})
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	if _, err := c.Submit(context.Background(), service.JobSpec{}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Submit(context.Background(), service.JobSpec{}); err != nil {
+		t.Fatalf("Submit(second): %v", err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("saw %d POSTs, want 3 (attempt + retry + second submit)", len(keys))
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("retry key %q != original %q; a retried submit must reuse its key", keys[1], keys[0])
+	}
+	if keys[2] == keys[0] {
+		t.Fatal("a second logical submit reused the first key; it must draw a fresh one")
+	}
+}
+
+// TestWaitPollFallback pins Wait's degraded mode: with the event stream
+// unavailable it polls status (with backoff) until the job is done.
+func TestWaitPollFallback(t *testing.T) {
+	var polls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = w.Write([]byte(`{"error": "service: no such job"}`))
+			return
+		}
+		n := int(polls.Add(1))
+		st := service.JobStatus{ID: "job-000001", State: service.StateRunning, CellsDone: n, CellsTotal: 5}
+		if n >= 5 {
+			st.State = service.StateDone
+			st.CellsDone = 5
+		}
+		writeStatus(w, st)
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	st, err := c.Wait(context.Background(), "job-000001")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != service.StateDone || st.CellsDone != 5 {
+		t.Fatalf("Wait = %+v, want done with 5 cells", st)
+	}
+}
+
+// TestWaitReturnsOnCancel pins prompt unwinding: a Wait stuck on a
+// never-finishing job returns quickly once its context is canceled.
+func TestWaitReturnsOnCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			w.WriteHeader(http.StatusOK)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			<-r.Context().Done() // stream that never delivers
+			return
+		}
+		writeStatus(w, service.JobStatus{ID: "job-000001", State: service.StateRunning})
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := c.Wait(ctx, "job-000001")
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Wait took %v to notice cancellation", elapsed)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync" //lint:allow nondeterminism "the manager is the daemon's concurrency boundary; job payloads stay deterministic per spec"
 
 	"maxwe"
+	"maxwe/internal/atomicio"
 	"maxwe/internal/experiments"
 	"maxwe/internal/runner"
 )
@@ -50,6 +51,10 @@ type Config struct {
 	// QueueDepth bounds the backlog of accepted-but-not-running jobs
 	// (default 1024). Submissions beyond it fail with ErrQueueFull.
 	QueueDepth int
+	// FS is the filesystem the durable store reads and writes through.
+	// Nil selects the real filesystem (atomicio.OS); the chaos harness
+	// passes a fault-injecting implementation.
+	FS atomicio.FS
 }
 
 // Sentinel errors surfaced to the HTTP layer.
@@ -73,6 +78,7 @@ var (
 // Create with NewManager, call Start, and Close to drain.
 type Manager struct {
 	cfg     Config
+	fs      atomicio.FS
 	metrics *Metrics
 
 	baseCtx context.Context
@@ -85,6 +91,12 @@ type Manager struct {
 	seq     int
 	started bool
 	closed  bool
+	// idem maps Idempotency-Key values to the job ID their submission
+	// created, so a client retrying a Submit whose response was lost gets
+	// the original job back instead of a duplicate. In-memory only: after
+	// a daemon restart a retried submit creates a fresh job, which is
+	// acceptable degradation — same canonical spec, identical results.
+	idem map[string]string
 }
 
 // stateRecord is the terminal state document persisted per job.
@@ -124,14 +136,19 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: create data dir: %w", err)
 	}
+	if cfg.FS == nil {
+		cfg.FS = atomicio.OS
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
+		fs:      cfg.FS,
 		metrics: NewMetrics(),
 		baseCtx: ctx,
 		stop:    stop,
 		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
+		idem:    make(map[string]string),
 	}
 	if err := m.load(); err != nil {
 		stop()
@@ -149,7 +166,7 @@ func (m *Manager) load() error {
 	sort.Strings(specs)
 	for _, path := range specs {
 		id := strings.TrimSuffix(filepath.Base(path), ".spec.json")
-		raw, err := os.ReadFile(path)
+		raw, err := m.fs.ReadFile(path)
 		if err != nil {
 			return fmt.Errorf("service: read %s: %w", path, err)
 		}
@@ -176,7 +193,7 @@ func (m *Manager) load() error {
 // loadTerminal applies a persisted terminal state to a freshly loaded
 // job, if one exists. Jobs without one stay queued.
 func (m *Manager) loadTerminal(j *job) error {
-	raw, err := os.ReadFile(m.statePath(j.id))
+	raw, err := m.fs.ReadFile(m.statePath(j.id))
 	if errors.Is(err, os.ErrNotExist) {
 		j.events.append(Event{Job: j.id, Type: "state", State: StateQueued,
 			CellsTotal: j.cellsTotal})
@@ -193,7 +210,7 @@ func (m *Manager) loadTerminal(j *job) error {
 		return fmt.Errorf("service: %s records non-terminal state %q", m.statePath(j.id), rec.State)
 	}
 	if rec.State == StateDone {
-		res, err := os.ReadFile(m.resultPath(j.id))
+		res, err := m.fs.ReadFile(m.resultPath(j.id))
 		if err != nil {
 			return fmt.Errorf("service: read %s: %w", m.resultPath(j.id), err)
 		}
@@ -284,15 +301,12 @@ func (m *Manager) resultPath(id string) string {
 	return filepath.Join(m.cfg.DataDir, id+".result.json")
 }
 
-// writeFileAtomic writes data via a temp file and rename, the same
-// crash-safety discipline the runner checkpoint uses.
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("service: write %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("service: commit %s: %w", path, err)
+// writeFile durably writes data through the crash-consistency primitive
+// (temp file, fsync, rename, fsync parent dir) on the manager's
+// filesystem — the same discipline the runner checkpoint uses.
+func (m *Manager) writeFile(path string, data []byte) error {
+	if err := atomicio.WriteFile(m.fs, path, data); err != nil {
+		return fmt.Errorf("service: %w", err)
 	}
 	return nil
 }
@@ -301,6 +315,15 @@ func writeFileAtomic(path string, data []byte) error {
 // The spec file is durably on disk before Submit returns, so an accepted
 // job survives an immediate crash.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	return m.SubmitIdempotent(spec, "")
+}
+
+// SubmitIdempotent is Submit keyed by a client-chosen idempotency token:
+// a repeated submission with a key already recorded returns the status of
+// the job that submission created instead of creating a duplicate. An
+// empty key disables deduplication. The map is in-memory; see the idem
+// field for the restart semantics.
+func (m *Manager) SubmitIdempotent(spec JobSpec, key string) (JobStatus, error) {
 	norm, err := spec.normalize()
 	if err != nil {
 		return JobStatus{}, err
@@ -315,6 +338,16 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		m.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
+	if key != "" {
+		if prior, ok := m.idem[key]; ok {
+			j := m.jobs[prior]
+			m.mu.Unlock()
+			if j != nil {
+				return j.status(), nil
+			}
+			return JobStatus{}, fmt.Errorf("%w: %q", ErrNotFound, prior)
+		}
+	}
 	if len(m.queue) >= m.cfg.QueueDepth {
 		m.mu.Unlock()
 		return JobStatus{}, ErrQueueFull
@@ -326,11 +359,18 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	started := m.started
 	m.mu.Unlock()
 
-	if err := writeFileAtomic(m.specPath(id), append(raw, '\n')); err != nil {
+	if err := m.writeFile(m.specPath(id), append(raw, '\n')); err != nil {
 		m.mu.Lock()
 		delete(m.jobs, id)
 		m.mu.Unlock()
 		return JobStatus{}, err
+	}
+	if key != "" {
+		// Recorded only after the spec is durable: a failed submission must
+		// stay retryable under the same key.
+		m.mu.Lock()
+		m.idem[key] = id
+		m.mu.Unlock()
 	}
 	j.events.append(Event{Job: id, Type: "state", State: StateQueued,
 		CellsTotal: j.cellsTotal})
@@ -367,7 +407,7 @@ func (m *Manager) Status(id string, partial bool) (JobStatus, error) {
 	}
 	st := j.status()
 	if partial {
-		raw, err := os.ReadFile(m.ckptPath(id))
+		raw, err := m.fs.ReadFile(m.ckptPath(id))
 		if err == nil {
 			var doc checkpointDoc
 			if json.Unmarshal(raw, &doc) == nil && doc.Fingerprint == j.fingerprint {
@@ -474,7 +514,7 @@ func (m *Manager) MetricsSnapshot() (string, error) {
 // except for StateDone, where it holds the exact document bytes to serve.
 func (m *Manager) finishJob(j *job, s State, errMsg string, result []byte) {
 	if s == StateDone {
-		if err := writeFileAtomic(m.resultPath(j.id), result); err != nil {
+		if err := m.writeFile(m.resultPath(j.id), result); err != nil {
 			s, errMsg, result = StateFailed, err.Error(), nil
 		}
 	}
@@ -483,7 +523,7 @@ func (m *Manager) finishJob(j *job, s State, errMsg string, result []byte) {
 		// A two-field struct of plain strings always marshals.
 		panic(fmt.Errorf("service: marshal state record: %w", err))
 	}
-	if err := writeFileAtomic(m.statePath(j.id), append(rec, '\n')); err != nil {
+	if err := m.writeFile(m.statePath(j.id), append(rec, '\n')); err != nil {
 		// The job completed but its terminal state could not be made
 		// durable: surface the I/O failure as the job error so operators
 		// see it; the next restart will re-run from the checkpoint.
@@ -498,7 +538,7 @@ func (m *Manager) finishJob(j *job, s State, errMsg string, result []byte) {
 		// The checkpoint has served its purpose; drop it to keep the
 		// data directory bounded by results, not intermediate state. A
 		// stale checkpoint would be harmless, so best-effort is enough.
-		_ = os.Remove(m.ckptPath(j.id))
+		_ = m.fs.Remove(m.ckptPath(j.id))
 	}
 }
 
@@ -525,7 +565,7 @@ func (m *Manager) runJob(j *job) {
 		// a foreign writer, or plain garbage): quarantine it and restart
 		// the sweep from scratch rather than failing the job forever.
 		quarantine := m.ckptPath(j.id) + ".corrupt"
-		if renameErr := os.Rename(m.ckptPath(j.id), quarantine); renameErr == nil {
+		if renameErr := m.fs.Rename(m.ckptPath(j.id), quarantine); renameErr == nil {
 			j.events.append(Event{Job: j.id, Type: "checkpoint",
 				Error:      fmt.Sprintf("corrupt checkpoint quarantined to %s", quarantine),
 				CellsTotal: j.cellsTotal})
@@ -578,6 +618,7 @@ func (m *Manager) sweep(ctx context.Context, j *job) (JobResult, bool, error) {
 		CheckpointPath: m.ckptPath(j.id),
 		Fingerprint:    j.fingerprint,
 		Progress:       j.onRunnerEvent(m.metrics),
+		FS:             m.fs,
 	}
 	switch j.spec.Kind {
 	case KindFig7:

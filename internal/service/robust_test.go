@@ -1,0 +1,300 @@
+// Robustness tests for the store and network edges: checkpoint
+// quarantine failure paths, graceful ENOSPC degradation, queue-full
+// backpressure (429 + Retry-After end-to-end), and submit idempotency
+// across a lost response.
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxwe/internal/atomicio"
+	"maxwe/internal/diskfault"
+	"maxwe/internal/service"
+	"maxwe/internal/service/client"
+)
+
+// renameBlockFS delegates to the real filesystem but refuses renames onto
+// targets with the given suffix — the "quarantine rename fails" disk.
+type renameBlockFS struct {
+	atomicio.FS
+	blockSuffix string
+}
+
+func (f renameBlockFS) Rename(oldpath, newpath string) error {
+	if strings.HasSuffix(newpath, f.blockSuffix) {
+		return errors.New("injected: rename blocked")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// corruptReadFS serves fixed bytes for one path no matter what is on
+// disk, counting the reads — it models a checkpoint that stays corrupt
+// even after quarantine, to pin the one-retry-then-fail sequence.
+type corruptReadFS struct {
+	atomicio.FS
+	path  string
+	data  []byte
+	reads atomic.Int32
+}
+
+func (f *corruptReadFS) ReadFile(path string) ([]byte, error) {
+	if path == f.path {
+		f.reads.Add(1)
+		return f.data, nil
+	}
+	return f.FS.ReadFile(path)
+}
+
+// plantCorruptCheckpoint submits a one-cell job on a stopped manager and
+// writes garbage where its checkpoint will be read.
+func plantCorruptCheckpoint(t *testing.T, m *service.Manager, dir string) (id, ckpt string) {
+	t.Helper()
+	st, err := m.Submit(service.JobSpec{
+		Kind:  service.KindCells,
+		Cells: []service.CellSpec{boundedCell("only", 100_000)},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ckpt = filepath.Join(dir, st.ID+".ckpt.json")
+	if err := os.WriteFile(ckpt, []byte("{this is not a checkpoint"), 0o644); err != nil {
+		t.Fatalf("plant corrupt checkpoint: %v", err)
+	}
+	return st.ID, ckpt
+}
+
+// TestQuarantineRenameFails pins the quarantine failure path: when the
+// .corrupt rename itself fails, the job fails with the corruption error
+// instead of looping or silently succeeding.
+func TestQuarantineRenameFails(t *testing.T) {
+	dir := t.TempDir()
+	m, err := service.NewManager(service.Config{
+		DataDir: dir, JobWorkers: 1,
+		FS: renameBlockFS{FS: atomicio.OS, blockSuffix: ".corrupt"},
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	id, ckpt := plantCorruptCheckpoint(t, m, dir)
+
+	m.Start()
+	final := waitState(t, m, id)
+	if final.State != service.StateFailed {
+		t.Fatalf("job ended %s, want failed when quarantine cannot rename", final.State)
+	}
+	if !strings.Contains(final.Error, "corrupt") {
+		t.Fatalf("job error = %q, want the corruption surfaced", final.Error)
+	}
+	if _, err := os.Stat(ckpt + ".corrupt"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("quarantine file exists despite blocked rename: %v", err)
+	}
+}
+
+// TestQuarantineOneRetryThenFail pins the retry budget: a checkpoint that
+// reads corrupt again after a successful quarantine fails the job after
+// exactly one re-sweep — two checkpoint reads, no infinite loop.
+func TestQuarantineOneRetryThenFail(t *testing.T) {
+	dir := t.TempDir()
+	// The FS needs the checkpoint path before the manager assigns the job
+	// ID; a fresh data dir always starts at job-000001.
+	evil := &corruptReadFS{
+		FS:   atomicio.OS,
+		path: filepath.Join(dir, "job-000001.ckpt.json"),
+		data: []byte("{still not a checkpoint"),
+	}
+	m, err := service.NewManager(service.Config{DataDir: dir, JobWorkers: 1, FS: evil})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	id, ckpt := plantCorruptCheckpoint(t, m, dir)
+	if id != "job-000001" {
+		t.Fatalf("job ID = %s, want job-000001", id)
+	}
+
+	m.Start()
+	final := waitState(t, m, id)
+	if final.State != service.StateFailed {
+		t.Fatalf("job ended %s, want failed after one quarantine retry", final.State)
+	}
+	if !strings.Contains(final.Error, "corrupt") {
+		t.Fatalf("job error = %q, want the corruption surfaced", final.Error)
+	}
+	if got := evil.reads.Load(); got != 2 {
+		t.Fatalf("checkpoint read %d times, want exactly 2 (original + one retry)", got)
+	}
+	if _, err := os.Stat(ckpt + ".corrupt"); err != nil {
+		t.Fatalf("first quarantine did not happen: %v", err)
+	}
+}
+
+// TestNoSpaceFailsJobGracefully injects ENOSPC (no crash) into the result
+// write: the job must fail with the I/O error, durably, leaving no
+// partial result document behind.
+func TestNoSpaceFailsJobGracefully(t *testing.T) {
+	dir := t.TempDir()
+	// Write index 3 is the result write of the two-cell chaos workload
+	// (spec, ckpt, ckpt, result, state), pinned by countDurableWrites.
+	ffs, err := diskfault.New(nil, diskfault.Config{Seed: 42, WriteIndex: 3, Class: diskfault.ClassNoSpace})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m := chaosManager(t, dir, ffs)
+	m.Start()
+	st, err := m.Submit(chaosSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitState(t, m, st.ID)
+	m.Close()
+	if final.State != service.StateFailed {
+		t.Fatalf("job ended %s, want failed on ENOSPC", final.State)
+	}
+	if !strings.Contains(final.Error, "no space") {
+		t.Fatalf("job error = %q, want the ENOSPC surfaced", final.Error)
+	}
+	if _, err := os.Stat(filepath.Join(dir, st.ID+".result.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("partial result document exists after failed write: %v", err)
+	}
+
+	// The failure is durable: a restart reports it instead of re-running.
+	m2 := newManager(t, dir, 1)
+	defer m2.Close()
+	st2, err := m2.Status(st.ID, false)
+	if err != nil {
+		t.Fatalf("Status after restart: %v", err)
+	}
+	if st2.State != service.StateFailed {
+		t.Fatalf("restarted state = %s, want the durable failure", st2.State)
+	}
+}
+
+// TestQueueFullBackpressure drives the bounded queue to saturation
+// end-to-end: the daemon answers 429 with Retry-After, and a retrying
+// client outlasts the backpressure once the queue drains.
+func TestQueueFullBackpressure(t *testing.T) {
+	m, err := service.NewManager(service.Config{DataDir: t.TempDir(), JobWorkers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+	m.Start()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	ctx := context.Background()
+
+	// Fill the daemon: one unbounded job occupies the worker, one more
+	// saturates the depth-1 queue.
+	blocker := service.JobSpec{Kind: service.KindCells,
+		Cells: []service.CellSpec{boundedCell("forever", 0)}}
+	quick := service.JobSpec{Kind: service.KindCells,
+		Cells: []service.CellSpec{boundedCell("quick", 100_000)}}
+
+	one := client.New(srv.URL)
+	one.Retry.MaxAttempts = 1
+	blockSt, err := one.Submit(ctx, blocker)
+	if err != nil {
+		t.Fatalf("Submit(blocker): %v", err)
+	}
+	// The worker must have taken the blocker off the queue before the
+	// filler lands, or the filler itself sees a full queue.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := one.Status(ctx, blockSt.ID, false)
+		if err != nil {
+			t.Fatalf("Status(blocker): %v", err)
+		}
+		if st.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := one.Submit(ctx, quick); err != nil {
+		t.Fatalf("Submit(filler): %v", err)
+	}
+
+	// A non-retrying submit sees the backpressure as a typed 429 carrying
+	// the server's Retry-After hint.
+	_, err = one.Submit(ctx, quick)
+	var he *client.HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("Submit(full) = %v, want *client.HTTPError", err)
+	}
+	if he.StatusCode != http.StatusTooManyRequests || he.RetryAfter != time.Second {
+		t.Fatalf("HTTPError = %+v, want 429 with Retry-After 1s", he)
+	}
+	if !he.Temporary() {
+		t.Fatal("429 must classify as temporary (retryable)")
+	}
+
+	// A retrying client survives: the blocker is canceled while the
+	// client backs off (it honors the 1s Retry-After), the queue drains,
+	// and the retried attempt is accepted.
+	time.AfterFunc(100*time.Millisecond, func() {
+		_, _ = one.Cancel(ctx, blockSt.ID)
+	})
+	retrying := client.New(srv.URL)
+	retrying.Retry = client.RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond}
+	st, err := retrying.Submit(ctx, quick)
+	if err != nil {
+		t.Fatalf("retrying Submit did not outlast the backpressure: %v", err)
+	}
+	if st.ID == "" {
+		t.Fatal("retried submit returned no job")
+	}
+}
+
+// TestSubmitIdempotentAcrossLostResponse is the duplicate-submission
+// guard: the first POST reaches the daemon but its response is destroyed
+// in flight; the client's retry carries the same Idempotency-Key, so the
+// daemon returns the original job instead of creating a second one.
+func TestSubmitIdempotentAcrossLostResponse(t *testing.T) {
+	m := newManager(t, t.TempDir(), 1)
+	defer m.Close()
+	m.Start()
+	inner := service.NewHandler(m)
+
+	var posts atomic.Int32
+	lossy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && posts.Add(1) == 1 {
+			// Deliver the request, lose the response.
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(lossy)
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = client.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	st, err := c.Submit(context.Background(), chaosSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if posts.Load() != 2 {
+		t.Fatalf("saw %d POSTs, want the lost attempt plus one retry", posts.Load())
+	}
+	jobs := m.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("daemon holds %d jobs after retried submit, want exactly 1", len(jobs))
+	}
+	if jobs[0].ID != st.ID {
+		t.Fatalf("retry returned job %s, want the original %s", st.ID, jobs[0].ID)
+	}
+}

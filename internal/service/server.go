@@ -11,8 +11,13 @@
 //	GET    /healthz              liveness probe
 //
 // Errors are JSON objects {"error": "..."} with conventional status codes
-// (400 invalid spec, 404 unknown job, 409 wrong state, 503 queue full or
-// draining).
+// (400 invalid spec, 404 unknown job, 409 wrong state, 429 + Retry-After
+// when the bounded queue is full, 503 draining).
+//
+// POST /v1/jobs honors an optional Idempotency-Key header: retrying a
+// submission with the same key returns the job the first attempt created
+// instead of a duplicate, which is what lets the client retry a Submit
+// whose response was lost on the wire.
 package service
 
 import (
@@ -37,8 +42,13 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("service: decode spec: %w", err))
 			return
 		}
-		st, err := m.Submit(spec)
+		st, err := m.SubmitIdempotent(spec, r.Header.Get("Idempotency-Key"))
 		if err != nil {
+			if errors.Is(err, ErrQueueFull) {
+				// Graceful degradation: the backlog is full but the daemon is
+				// healthy. Tell the client when to come back.
+				w.Header().Set("Retry-After", "1")
+			}
 			writeError(w, submitCode(err), err)
 			return
 		}
@@ -177,11 +187,15 @@ func errCode(err error) int {
 	}
 }
 
-// submitCode maps Submit errors: backlog and drain are 503, anything else
-// is an invalid spec.
+// submitCode maps Submit errors: a full backlog is 429 (retryable, paired
+// with Retry-After), draining is 503, anything else is an invalid spec.
 func submitCode(err error) int {
-	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }
