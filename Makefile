@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-concurrent vet lint lint-json lint-schema verify faults bench bench-smoke serve-smoke chaos chaos-smoke
+.PHONY: build test race race-concurrent vet lint lint-json lint-schema verify faults bench bench-compare bench-smoke serve-smoke chaos chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -44,16 +44,28 @@ faults:
 	$(GO) run -race ./cmd/nvmsim -regions 128 -lines-per-region 8 -endurance 300 \
 		-fault-transient 0.01 -fault-stuckat 0.0005 -fault-metadata 0.0005 -fault-seed 7
 
-# bench regenerates BENCH_PR5.json: every figure/table bench, the sweep
-# supervisor at Parallelism 1 vs 0, the UAA fast path against its
-# pre-optimization reference, and the nvmd submit round trip, parsed to
-# JSON (with NumCPU/GOMAXPROCS metadata) by cmd/benchjson. Two steps so a
-# bench failure stops make instead of vanishing into a pipe.
+# bench regenerates BENCH_PR8.json: every figure/table bench, the sweep
+# supervisor at Parallelism 1 vs 0, the batched Fig7 cell against its
+# per-write reference, the UAA fast path, and the nvmd submit round trip,
+# parsed to JSON (with NumCPU/GOMAXPROCS metadata) by cmd/benchjson. A
+# second run repeats the runner sweep at GOMAXPROCS 2 and 4 (the -cpu
+# suffixes become benchjson's "procs" field) to record multi-core
+# scaling; it appends to the same log so one conversion sees both.
+# Separate steps so a bench failure stops make instead of vanishing
+# into a pipe.
 bench:
 	$(GO) test -run '^$$' -bench '^Benchmark(Fig|Table|Runner|UAAFast|Service)' -benchmem \
 		. ./internal/sim/ ./internal/service/ > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR5.json < bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkRunnerScaling$$' -benchmem -cpu 2,4 . >> bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json < bench.out
 	@rm -f bench.out
+
+# bench-compare fails when the current BENCH_PR8.json regressed more
+# than 20% ns/op against the committed PR5 baseline on any benchmark
+# both files contain. CI runs it non-blocking: shared runners are noisy,
+# but the table still lands in the log.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR8.json
 
 # bench-smoke runs every benchmark exactly once and checks the output
 # still parses — the CI guard that `make bench` cannot rot.

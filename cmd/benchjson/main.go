@@ -5,11 +5,18 @@
 // committed file records the conditions it was measured under.
 //
 // `make bench` pipes the full figure/table/runner suite through it to
-// produce BENCH_PR4.json; `make bench-smoke` uses it as a parse check.
+// produce BENCH_PR8.json; `make bench-smoke` uses it as a parse check.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_PR4.json
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_PR8.json
+//	benchjson -compare BENCH_PR5.json BENCH_PR8.json
+//
+// The -compare form reads two previously written documents and exits
+// nonzero when any benchmark present in both regressed by more than
+// -threshold (default 20%) in ns/op. CI runs it as a non-blocking step so
+// a noisy runner cannot fail the build, but the regression table still
+// lands in the log.
 package main
 
 import (
@@ -47,7 +54,42 @@ type Output struct {
 
 func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
+	comparing := flag.Bool("compare", false, "compare two benchjson documents: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.20, "with -compare, the ns/op regression fraction that fails the run")
 	flag.Parse()
+
+	if *comparing {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		oldDoc, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newDoc, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		deltas := compare(oldDoc.Benchmarks, newDoc.Benchmarks)
+		regressed := false
+		for _, d := range deltas {
+			verdict := "ok"
+			if d.Ratio > 1+*threshold {
+				verdict = "REGRESSION"
+				regressed = true
+			}
+			fmt.Printf("%-48s procs=%-2d %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+				d.Name, d.Procs, d.OldNsPerOp, d.NewNsPerOp, (d.Ratio-1)*100, verdict)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks (threshold %+.0f%%)\n", len(deltas), *threshold*100)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	benches, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -83,6 +125,61 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(benches), *out)
+}
+
+// Delta is one name+procs pair present in both compared documents.
+type Delta struct {
+	// Name and Procs identify the benchmark as in Benchmark.
+	Name  string
+	Procs int
+	// OldNsPerOp and NewNsPerOp are the two measurements; Ratio is
+	// new/old, so 1.25 means the new run is 25% slower.
+	OldNsPerOp float64
+	NewNsPerOp float64
+	Ratio      float64
+}
+
+// load reads a document previously written with -o.
+func load(path string) (Output, error) {
+	var doc Output
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compare pairs benchmarks by name+procs and reports the ns/op ratio for
+// every pair, preserving the new document's order. Benchmarks present in
+// only one document are skipped — adding or retiring a benchmark is not a
+// regression.
+func compare(oldB, newB []Benchmark) []Delta {
+	type key struct {
+		name  string
+		procs int
+	}
+	olds := make(map[key]Benchmark, len(oldB))
+	for _, b := range oldB {
+		olds[key{b.Name, b.Procs}] = b
+	}
+	var deltas []Delta
+	for _, nb := range newB {
+		ob, found := olds[key{nb.Name, nb.Procs}]
+		if !found || ob.NsPerOp <= 0 {
+			continue
+		}
+		deltas = append(deltas, Delta{
+			Name:       nb.Name,
+			Procs:      nb.Procs,
+			OldNsPerOp: ob.NsPerOp,
+			NewNsPerOp: nb.NsPerOp,
+			Ratio:      nb.NsPerOp / ob.NsPerOp,
+		})
+	}
+	return deltas
 }
 
 // parse scans go test output for result lines. A result line is

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseExtractsResultLines(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkFig7CellBatched     	     226	   5266036 ns/op",
+		"BenchmarkRunnerScaling-4     	     100	   2500000 ns/op	 128 B/op	       2 allocs/op",
+		"Benchmark results table: not a result line",
+		"PASS",
+	}, "\n")
+	benches, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(benches), benches)
+	}
+	if b := benches[0]; b.Name != "Fig7CellBatched" || b.Procs != 1 || b.NsPerOp != 5266036 {
+		t.Errorf("first = %+v", b)
+	}
+	if b := benches[1]; b.Name != "RunnerScaling" || b.Procs != 4 || b.NsPerOp != 2.5e6 || b.BytesPerOp != 128 || b.AllocsPerOp != 2 {
+		t.Errorf("second = %+v", b)
+	}
+}
+
+func TestCompareKeysByNameAndProcs(t *testing.T) {
+	oldB := []Benchmark{
+		{Name: "Fig7Cell", Procs: 1, NsPerOp: 1000},
+		{Name: "RunnerScaling", Procs: 1, NsPerOp: 400},
+		{Name: "RunnerScaling", Procs: 2, NsPerOp: 250},
+		{Name: "Retired", Procs: 1, NsPerOp: 99},
+	}
+	newB := []Benchmark{
+		{Name: "Fig7Cell", Procs: 1, NsPerOp: 1300},
+		{Name: "RunnerScaling", Procs: 1, NsPerOp: 380},
+		{Name: "RunnerScaling", Procs: 2, NsPerOp: 260},
+		{Name: "Added", Procs: 1, NsPerOp: 1},
+	}
+	deltas := compare(oldB, newB)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (added/retired benches must be skipped): %+v", len(deltas), deltas)
+	}
+	// Order follows the new document.
+	wantRatios := []float64{1.3, 0.95, 1.04}
+	for i, want := range wantRatios {
+		if got := deltas[i].Ratio; math.Abs(got-want) > 1e-9 {
+			t.Errorf("delta %d (%s procs=%d): ratio = %v, want %v", i, deltas[i].Name, deltas[i].Procs, got, want)
+		}
+	}
+	// Same name at different procs must not cross-pair: procs=2 compares
+	// against the old procs=2 entry, not procs=1.
+	if d := deltas[2]; d.Procs != 2 || d.OldNsPerOp != 250 {
+		t.Errorf("procs=2 delta paired wrong: %+v", d)
+	}
+}
+
+func TestCompareSkipsZeroBaseline(t *testing.T) {
+	deltas := compare(
+		[]Benchmark{{Name: "X", Procs: 1, NsPerOp: 0}},
+		[]Benchmark{{Name: "X", Procs: 1, NsPerOp: 10}},
+	)
+	if len(deltas) != 0 {
+		t.Fatalf("zero-ns/op baseline must be skipped, got %+v", deltas)
+	}
+}

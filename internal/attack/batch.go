@@ -1,0 +1,183 @@
+package attack
+
+// BatchAttack is an optional extension of Attack for generators that can
+// fill a whole batch of addresses in one call. NextBatch(n, dst) must be
+// observationally identical to len(dst) successive Next(n) calls — same
+// addresses, same internal state afterwards — so the sim engine can swap
+// freely between the per-write and the batched path. The logical-space
+// size n is fixed for the duration of one batch; callers simulating
+// capacity shrink (PCD) must not use the batched path (internal/sim
+// routes those configurations through the per-write loops).
+type BatchAttack interface {
+	Attack
+	// NextBatch fills dst with the next len(dst) logical lines, each in
+	// [0, n). It must equal len(dst) successive Next(n) calls.
+	NextBatch(n int, dst []int)
+}
+
+// CyclicAttack is an optional extension of Attack for generators whose
+// address stream is periodic and state-neutral: from any internal state,
+// emitting one full period of writes touches a fixed multiset of slots
+// and returns the generator to the same state. The fast-forward engine
+// (internal/sim) uses this to skip whole quiescent periods in O(1) —
+// bulk-adding counts to the device without consuming generator state.
+type CyclicAttack interface {
+	Attack
+	// Cycle describes one period of the stream at logical-space size n:
+	// the period length in writes and a length-n slice of per-slot write
+	// counts summing to the period. The description must stay valid until
+	// n changes or a non-Cycle method is called.
+	Cycle(n int) (period int64, counts []int64)
+}
+
+// NextBatch implements BatchAttack: a uniform sweep with PCD wrap,
+// element-for-element identical to Next.
+func (a *UAA) NextBatch(n int, dst []int) {
+	checkN(n)
+	for i := range dst {
+		if a.next >= n {
+			a.next = 0
+		}
+		dst[i] = a.next
+		a.next++
+		if a.next == n {
+			a.next = 0
+		}
+	}
+}
+
+// Cycle implements CyclicAttack: one period sweeps every slot exactly
+// once and returns the cursor to its starting position.
+func (a *UAA) Cycle(n int) (int64, []int64) {
+	checkN(n)
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = 1
+	}
+	return int64(n), counts
+}
+
+// NextBatch implements BatchAttack with the coverage limit hoisted out of
+// the per-element loop (n is fixed for the batch, so the limit is too).
+func (a *PartialUAA) NextBatch(n int, dst []int) {
+	checkN(n)
+	limit := int(a.coverage * float64(n))
+	if limit < 1 {
+		limit = 1
+	}
+	for i := range dst {
+		if a.next >= limit {
+			a.next = 0
+		}
+		dst[i] = a.next
+		a.next++
+		if a.next == limit {
+			a.next = 0
+		}
+	}
+}
+
+// Cycle implements CyclicAttack: one period sweeps the covered prefix
+// exactly once; slots past the coverage limit are never written.
+func (a *PartialUAA) Cycle(n int) (int64, []int64) {
+	checkN(n)
+	limit := int(a.coverage * float64(n))
+	if limit < 1 {
+		limit = 1
+	}
+	counts := make([]int64, n)
+	for i := 0; i < limit; i++ {
+		counts[i] = 1
+	}
+	return int64(limit), counts
+}
+
+// NextBatch implements BatchAttack. Redraw boundaries land at exactly the
+// write indexes the per-write stream redraws at; between redraws the
+// round-robin is emitted as a straight run with the modulo replaced by a
+// wrap compare.
+func (a *BPA) NextBatch(n int, dst []int) {
+	checkN(n)
+	i := 0
+	for i < len(dst) {
+		if a.victims == nil || a.spaceN != n || (a.repick > 0 && a.writes >= a.repick) {
+			a.draw(n)
+		}
+		run := len(dst) - i
+		if a.repick > 0 {
+			if left := a.repick - a.writes; left < run {
+				run = left
+			}
+		}
+		v, c := a.victims, a.cursor
+		for j := 0; j < run; j++ {
+			dst[i+j] = v[c]
+			if c++; c == len(v) {
+				c = 0
+			}
+		}
+		a.cursor = c
+		a.writes += run
+		i += run
+	}
+}
+
+// NextBatch implements BatchAttack: the target list round-robin, folded
+// into the current space per element like Next.
+func (a *TargetedSweep) NextBatch(n int, dst []int) {
+	checkN(n)
+	for i := range dst {
+		dst[i] = a.targets[a.next] % n
+		a.next = (a.next + 1) % len(a.targets)
+	}
+}
+
+// Cycle implements CyclicAttack: one period is one pass over the target
+// list (targets folded modulo n may repeat a slot, so counts can exceed 1).
+func (a *TargetedSweep) Cycle(n int) (int64, []int64) {
+	checkN(n)
+	counts := make([]int64, n)
+	for _, t := range a.targets {
+		counts[t%n]++
+	}
+	return int64(len(a.targets)), counts
+}
+
+// NextBatch implements BatchAttack: the same folded address repeated.
+func (a *Repeated) NextBatch(n int, dst []int) {
+	checkN(n)
+	v := a.addr % n
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// Cycle implements CyclicAttack: a one-write period on the folded target.
+func (a *Repeated) Cycle(n int) (int64, []int64) {
+	checkN(n)
+	counts := make([]int64, n)
+	counts[a.addr%n] = 1
+	return 1, counts
+}
+
+// NextBatch implements BatchAttack: per-element Zipf draws in stream
+// order, identical to repeated Next calls.
+func (a *HotCold) NextBatch(n int, dst []int) {
+	checkN(n)
+	for i := range dst {
+		v := a.perm[a.zipf.Draw(a.src)]
+		if v >= n {
+			v %= n
+		}
+		dst[i] = v
+	}
+}
+
+// NextBatch implements BatchAttack: per-element uniform draws in stream
+// order, identical to repeated Next calls.
+func (a *RandomUniform) NextBatch(n int, dst []int) {
+	checkN(n)
+	for i := range dst {
+		dst[i] = a.src.Intn(n)
+	}
+}

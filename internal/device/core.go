@@ -1,0 +1,96 @@
+package device
+
+import "maxwe/internal/endurance"
+
+// Core is the struct-of-arrays wear state of a device: three flat slices
+// indexed by physical line number, plus two running totals. Hot simulation
+// loops (internal/sim) index these slices directly instead of paying a
+// method call per write; Device remains the bounds-checked, invariant-
+// preserving view for everyone else.
+//
+// The invariants the sim loops rely on — and must preserve when mutating
+// the slices directly — are exactly Write's semantics:
+//
+//   - Writes[i] counts every physical write to line i, worn or not.
+//   - Total is the sum of all Writes[i] increments.
+//   - Worn[i] flips false→true exactly once, when a write lands while
+//     Writes[i] >= Endurance[i] (or via ForceWear); it never flips back
+//     except through Reset.
+//   - WornLines counts true entries in Worn.
+type Core struct {
+	// Writes is the per-line physical write counter.
+	Writes []int64
+	// Endurance is the per-line write budget, materialized from the
+	// endurance profile at construction so the hot loop needs no
+	// profile indirection.
+	Endurance []int64
+	// Worn is the per-line wear-out flag.
+	Worn []bool
+	// WornLines counts lines with Worn[i] == true.
+	WornLines int
+	// Total counts every physical write performed on the device.
+	Total int64
+}
+
+// newCore materializes the SoA state for a profile.
+func newCore(p *endurance.Profile) Core {
+	n := p.Lines()
+	c := Core{
+		Writes:    make([]int64, n),
+		Endurance: make([]int64, n),
+		Worn:      make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		c.Endurance[i] = p.LineEndurance(i)
+	}
+	return c
+}
+
+// Write performs one physical write to line, returning true exactly on
+// the wear-out transition. It is the canonical per-write semantics that
+// batched loops replicate inline; callers must pass an in-range line.
+func (c *Core) Write(line int) (wornNow bool) {
+	c.Writes[line]++
+	c.Total++
+	if !c.Worn[line] && c.Writes[line] >= c.Endurance[line] {
+		c.Worn[line] = true
+		c.WornLines++
+		return true
+	}
+	return false
+}
+
+// ForceWear marks line worn without counting a write. It returns true
+// when this call performed the transition, false if already worn.
+func (c *Core) ForceWear(line int) bool {
+	if c.Worn[line] {
+		return false
+	}
+	c.Worn[line] = true
+	c.WornLines++
+	return true
+}
+
+// Remaining returns the writes line can still absorb before wearing out
+// (zero for worn lines, including force-worn lines whose budget was
+// killed rather than spent).
+func (c *Core) Remaining(line int) int64 {
+	if c.Worn[line] {
+		return 0
+	}
+	r := c.Endurance[line] - c.Writes[line]
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Reset clears all wear state in place.
+func (c *Core) Reset() {
+	for i := range c.Writes {
+		c.Writes[i] = 0
+		c.Worn[i] = false
+	}
+	c.WornLines = 0
+	c.Total = 0
+}

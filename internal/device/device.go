@@ -4,6 +4,10 @@
 // it knows nothing about wear leveling, sparing or attacks; it just counts
 // writes and reports wear-out transitions. All lifetime machinery composes
 // on top of it (internal/sim).
+//
+// The wear state itself lives in a struct-of-arrays Core (core.go) so hot
+// simulation loops can index the flat slices directly; Device is the
+// bounds-checked view everyone else uses.
 package device
 
 import (
@@ -15,22 +19,19 @@ import (
 // Device is a line-granularity NVM bank. Construct with New.
 type Device struct {
 	profile *endurance.Profile
-	writes  []int64
-	worn    []bool
-
-	wornCount   int
-	totalWrites int64
+	core    Core
 }
 
 // New builds a device over the given endurance profile. The profile is
 // retained by reference (it is read-only here).
 func New(p *endurance.Profile) *Device {
-	return &Device{
-		profile: p,
-		writes:  make([]int64, p.Lines()),
-		worn:    make([]bool, p.Lines()),
-	}
+	return &Device{profile: p, core: newCore(p)}
 }
+
+// Core returns the struct-of-arrays wear state backing this device. Hot
+// loops that index it directly must preserve the invariants documented on
+// Core; all Device accessors observe mutations made through the core.
+func (d *Device) Core() *Core { return &d.core }
 
 // Profile returns the endurance profile the device was built from.
 func (d *Device) Profile() *endurance.Profile { return d.profile }
@@ -48,8 +49,8 @@ func (d *Device) LinesPerRegion() int { return d.profile.LinesPerRegion() }
 func (d *Device) RegionOf(line int) int { return d.profile.RegionOf(line) }
 
 func (d *Device) check(line int) {
-	if line < 0 || line >= len(d.writes) {
-		panic(fmt.Sprintf("device: line %d out of range [0,%d)", line, len(d.writes)))
+	if line < 0 || line >= len(d.core.Writes) {
+		panic(fmt.Sprintf("device: line %d out of range [0,%d)", line, len(d.core.Writes)))
 	}
 }
 
@@ -60,14 +61,7 @@ func (d *Device) check(line int) {
 // accesses. Writes to an already-worn line are counted but return false.
 func (d *Device) Write(line int) (wornNow bool) {
 	d.check(line)
-	d.writes[line]++
-	d.totalWrites++
-	if !d.worn[line] && d.writes[line] >= d.profile.LineEndurance(line) {
-		d.worn[line] = true
-		d.wornCount++
-		return true
-	}
-	return false
+	return d.core.Write(line)
 }
 
 // ForceWear marks line worn immediately, regardless of how much of its
@@ -77,53 +71,40 @@ func (d *Device) Write(line int) (wornNow bool) {
 // already worn.
 func (d *Device) ForceWear(line int) bool {
 	d.check(line)
-	if d.worn[line] {
-		return false
-	}
-	d.worn[line] = true
-	d.wornCount++
-	return true
+	return d.core.ForceWear(line)
 }
 
 // Worn reports whether line has exhausted its budget.
 func (d *Device) Worn(line int) bool {
 	d.check(line)
-	return d.worn[line]
+	return d.core.Worn[line]
 }
 
 // Remaining returns the writes line can still absorb before wearing out
 // (zero for worn lines).
 func (d *Device) Remaining(line int) int64 {
 	d.check(line)
-	if d.worn[line] {
-		// Covers force-worn lines, whose budget was killed, not spent.
-		return 0
-	}
-	r := d.profile.LineEndurance(line) - d.writes[line]
-	if r < 0 {
-		return 0
-	}
-	return r
+	return d.core.Remaining(line)
 }
 
 // Writes returns the number of physical writes line has absorbed.
 func (d *Device) Writes(line int) int64 {
 	d.check(line)
-	return d.writes[line]
+	return d.core.Writes[line]
 }
 
 // WornCount returns how many lines have worn out.
-func (d *Device) WornCount() int { return d.wornCount }
+func (d *Device) WornCount() int { return d.core.WornLines }
 
 // TotalWrites returns the number of physical writes performed on the
 // device, including wear-leveling and replacement amplification. Dividing
 // user writes by this gives the inverse write-amplification factor.
-func (d *Device) TotalWrites() int64 { return d.totalWrites }
+func (d *Device) TotalWrites() int64 { return d.core.Total }
 
 // Endurance returns the write budget of line.
 func (d *Device) Endurance(line int) int64 {
 	d.check(line)
-	return d.profile.LineEndurance(line)
+	return d.core.Endurance[line]
 }
 
 // IdealLifetime returns the sum of all line budgets — the paper's
@@ -134,8 +115,8 @@ func (d *Device) IdealLifetime() float64 { return d.profile.Sum() }
 // Σ min(writes, endurance) / Σ endurance.
 func (d *Device) WearFraction() float64 {
 	used := 0.0
-	for i, w := range d.writes {
-		e := d.profile.LineEndurance(i)
+	for i, w := range d.core.Writes {
+		e := d.core.Endurance[i]
 		if w > e {
 			w = e
 		}
@@ -147,25 +128,24 @@ func (d *Device) WearFraction() float64 {
 // Reset clears all wear state, returning the device to factory condition
 // with the same profile. Simulation sweeps reuse a device across
 // configurations to avoid resampling profiles.
-func (d *Device) Reset() {
-	for i := range d.writes {
-		d.writes[i] = 0
-		d.worn[i] = false
-	}
-	d.wornCount = 0
-	d.totalWrites = 0
-}
+func (d *Device) Reset() { d.core.Reset() }
 
 // WearHistogram buckets the per-line consumed-fraction of budget into
-// `buckets` equal-width bins over [0, 1]; worn lines land in the last bin.
+// `buckets` equal-width bins over [0, 1]; worn lines land in the last bin
+// regardless of consumed fraction, so a force-worn line (whose budget was
+// killed, not spent) is counted as dead rather than as lightly used.
 // Useful for visualizing how evenly a scheme spreads wear.
 func (d *Device) WearHistogram(buckets int) []int {
 	if buckets <= 0 {
 		panic("device: WearHistogram needs positive buckets")
 	}
 	h := make([]int, buckets)
-	for i, w := range d.writes {
-		frac := float64(w) / float64(d.profile.LineEndurance(i))
+	for i, w := range d.core.Writes {
+		if d.core.Worn[i] {
+			h[buckets-1]++
+			continue
+		}
+		frac := float64(w) / float64(d.core.Endurance[i])
 		if frac >= 1 {
 			h[buckets-1]++
 			continue

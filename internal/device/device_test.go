@@ -270,6 +270,95 @@ func TestForceWear(t *testing.T) {
 	}
 }
 
+// Regression: a force-worn line with consumed-fraction < 1 must land in
+// the LAST histogram bin ("worn lines land in the last bin"), not in the
+// interior bucket its write counter would suggest.
+func TestWearHistogramForceWornLandsInLastBin(t *testing.T) {
+	d := New(endurance.Uniform(1, 4, 10))
+	d.Write(0)     // 10% consumed...
+	d.ForceWear(0) // ...then killed: dead, not lightly used.
+	h := d.WearHistogram(10)
+	if h[9] != 1 {
+		t.Fatalf("last bucket = %d, want 1 (force-worn line)", h[9])
+	}
+	if h[1] != 0 {
+		t.Fatalf("bucket 1 = %d, want 0 — force-worn line leaked into interior bucket", h[1])
+	}
+	// A completely untouched force-worn line must not land in bucket 0.
+	d.ForceWear(1)
+	h = d.WearHistogram(10)
+	if h[9] != 2 {
+		t.Fatalf("last bucket = %d, want 2", h[9])
+	}
+	if h[0] != 2 { // lines 2 and 3 untouched
+		t.Fatalf("bucket 0 = %d, want 2 (the two healthy untouched lines)", h[0])
+	}
+}
+
+// Reset must also clear force-worn state and restore the full budget.
+func TestResetAfterForceWear(t *testing.T) {
+	d := New(endurance.Uniform(1, 4, 10))
+	d.Write(2)
+	d.ForceWear(2)
+	d.Reset()
+	if d.Worn(2) || d.WornCount() != 0 {
+		t.Fatal("Reset left force-worn state behind")
+	}
+	if d.Remaining(2) != 10 {
+		t.Fatalf("Remaining after Reset = %d, want full budget 10", d.Remaining(2))
+	}
+	if d.TotalWrites() != 0 || d.Writes(2) != 0 {
+		t.Fatal("Reset left write counters behind")
+	}
+	// The revived line must wear out normally again.
+	for i := 0; i < 9; i++ {
+		if d.Write(2) {
+			t.Fatalf("write %d reported premature wear-out after Reset", i+1)
+		}
+	}
+	if !d.Write(2) {
+		t.Fatal("line did not wear out at budget after Reset")
+	}
+}
+
+// The Core accessor must expose the same state the Device view reports,
+// and direct core mutations must be observed by the view — the contract
+// the struct-of-arrays sim loops depend on.
+func TestCoreViewConsistency(t *testing.T) {
+	d := New(endurance.Uniform(2, 2, 5))
+	c := d.Core()
+	if len(c.Writes) != d.Lines() || len(c.Endurance) != d.Lines() || len(c.Worn) != d.Lines() {
+		t.Fatal("core slice lengths disagree with device geometry")
+	}
+	for i := 0; i < d.Lines(); i++ {
+		if c.Endurance[i] != d.Endurance(i) {
+			t.Fatalf("line %d: core endurance %d != device %d", i, c.Endurance[i], d.Endurance(i))
+		}
+	}
+	// Device write visible through core.
+	d.Write(1)
+	if c.Writes[1] != 1 || c.Total != 1 {
+		t.Fatal("device write not visible through core")
+	}
+	// Core mutation visible through device, including the transition.
+	for i := 0; i < 4; i++ {
+		c.Write(1)
+	}
+	if !d.Worn(1) || d.WornCount() != 1 || d.Writes(1) != 5 || d.TotalWrites() != 5 {
+		t.Fatal("core writes not visible through device view")
+	}
+	if c.Remaining(1) != 0 || d.Remaining(1) != 0 {
+		t.Fatal("Remaining disagrees between core and view")
+	}
+	// Core ForceWear semantics match the device's.
+	if !c.ForceWear(0) || c.ForceWear(0) {
+		t.Fatal("core ForceWear transition semantics wrong")
+	}
+	if !d.Worn(0) || d.WornCount() != 2 {
+		t.Fatal("core ForceWear not visible through device view")
+	}
+}
+
 func BenchmarkDeviceWrite(b *testing.B) {
 	d := New(endurance.Uniform(64, 64, 1<<40))
 	n := d.Lines()

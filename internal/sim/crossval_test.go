@@ -1,0 +1,395 @@
+// crossval_test.go cross-validates the struct-of-arrays batched engine
+// (batch.go) and the generalized cyclic fast-forward (fastforward.go)
+// against the pre-refactor per-write engine, kept in-test as
+// referenceRunDetailed (optim_test.go). The bar is exact Result equality
+// — bit-identical, not approximate — across the full attack × scheme ×
+// leveler matrix, MaxUserWrites truncation edges, cancellation, and
+// per-line device state.
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"maxwe/internal/attack"
+	"maxwe/internal/endurance"
+	"maxwe/internal/faultinject"
+	"maxwe/internal/spare"
+	"maxwe/internal/wearlevel"
+	"maxwe/internal/xrand"
+)
+
+// plainAttack hides an attack's BatchAttack/CyclicAttack extensions so a
+// config is forced onto the legacy per-write loops (runDirect/runGeneral)
+// — the second way, besides referenceRunDetailed, to obtain pre-refactor
+// behavior, and the only one that exposes the final device for per-line
+// comparison through the public API.
+type plainAttack struct{ inner attack.Attack }
+
+func (a plainAttack) Name() string   { return a.inner.Name() }
+func (a plainAttack) Next(n int) int { return a.inner.Next(n) }
+
+var crossvalAttacks = []string{
+	"uaa", "partial-uaa", "bpa", "repeated", "targeted-sweep", "hotcold", "random",
+}
+
+var crossvalLevelers = []string{
+	"", "identity", "start-gap", "stress-aware", "tlsr", "pcm-s", "bwl", "wawl", "twl",
+}
+
+func buildAttack(kind string, logical int, seed uint64) attack.Attack {
+	switch kind {
+	case "uaa":
+		return attack.NewUAA()
+	case "partial-uaa":
+		return attack.NewPartialUAA(0.4)
+	case "bpa":
+		return attack.NewBPA(8, 5000, xrand.New(seed))
+	case "repeated":
+		return attack.NewRepeated(7)
+	case "targeted-sweep":
+		return attack.NewTargetedSweep([]int{1, 5, 5, 19, 400, 3})
+	case "hotcold":
+		return attack.NewHotCold(logical, 1.1, xrand.New(seed))
+	case "random":
+		return attack.NewRandomUniform(xrand.New(seed))
+	}
+	panic("unknown attack kind")
+}
+
+func buildLeveler(kind string, sch spare.Scheme, p *endurance.Profile, seed uint64) wearlevel.Leveler {
+	n := sch.UserLines()
+	metrics := func(slots int) []float64 {
+		ms := make([]float64, slots)
+		for u := range ms {
+			ms[u] = p.RegionMetric(p.RegionOf(sch.BaseLine(u)))
+		}
+		return ms
+	}
+	switch kind {
+	case "":
+		return nil
+	case "identity":
+		return wearlevel.NewIdentity(n)
+	case "start-gap":
+		return wearlevel.NewStartGap(n, 8)
+	case "stress-aware":
+		return wearlevel.NewStressAware(n, 8)
+	case "tlsr":
+		return wearlevel.NewTLSR(n, 16, xrand.New(seed))
+	case "pcm-s":
+		return wearlevel.NewPCMS(n, 16, xrand.New(seed))
+	case "bwl":
+		return wearlevel.NewBWL(n, metrics(n), 16, xrand.New(seed))
+	case "wawl":
+		return wearlevel.NewWAWL(n, metrics(n), 16, xrand.New(seed))
+	case "twl":
+		even := n - n%2 // TWL bonds slot pairs; drop a trailing odd slot
+		return wearlevel.NewTWL(even, metrics(even), xrand.New(seed))
+	}
+	panic("unknown leveler kind")
+}
+
+// buildCrossval assembles one fresh config; every call constructs new
+// stateful components so a config can be built twice for the two engines.
+func buildCrossval(p *endurance.Profile, ak, sk, lk string, maxWrites int64) Config {
+	cfg := Config{Profile: p, Scheme: buildScheme(p, sk), MaxUserWrites: maxWrites}
+	cfg.Leveler = buildLeveler(lk, cfg.Scheme, p, 61)
+	logical := cfg.Scheme.UserLines()
+	if cfg.Leveler != nil {
+		logical = cfg.Leveler.LogicalLines()
+	}
+	cfg.Attack = buildAttack(ak, logical, 62)
+	return cfg
+}
+
+// TestBatchedEngineFullMatrix runs every attack × scheme × leveler
+// combination (PCD only unleveled, as validate requires) through the
+// refactored RunDetailed and the pre-refactor reference, demanding exact
+// Result equality. This is a superset of every combination optim_test.go
+// exercises and covers all three new paths: runCyclic (uaa/partial-uaa/
+// repeated/targeted-sweep unleveled), runBatchedDirect (bpa/hotcold/
+// random on capacity-stable schemes), and runBatchedLeveled (every
+// leveled row, including the SwapWL and Identity devirtualizations and
+// the generic interface fallback).
+func TestBatchedEngineFullMatrix(t *testing.T) {
+	p := optimProfile()
+	for _, ak := range crossvalAttacks {
+		for _, sk := range allSchemeKinds {
+			for _, lk := range crossvalLevelers {
+				if sk == "pcd" && lk != "" {
+					continue // PCD's shrinking capacity forbids levelers
+				}
+				name := ak + "/" + sk + "/" + lk
+				got, _, err := RunDetailed(buildCrossval(p, ak, sk, lk, 0))
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				want, err := referenceRunDetailed(buildCrossval(p, ak, sk, lk, 0))
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if got != want {
+					t.Fatalf("%s: refactored %+v != reference %+v", name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCyclicFastForwardCapEdges sweeps MaxUserWrites across period
+// boundaries, epoch boundaries, and the exact failure write of every
+// cyclic attack × scheme pair: the fast-forward's bulk skip and tail must
+// truncate at precisely the same write as the per-write reference.
+func TestCyclicFastForwardCapEdges(t *testing.T) {
+	p := optimProfile()
+	for _, ak := range []string{"uaa", "partial-uaa", "repeated", "targeted-sweep"} {
+		for _, sk := range allSchemeKinds {
+			full, _, err := RunDetailed(buildCrossval(p, ak, sk, "", 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps := []int64{1, 2, 319, 320, 321, 1023, 1024, 1025,
+				full.UserWrites - 1, full.UserWrites, full.UserWrites + 1}
+			for _, maxW := range caps {
+				if maxW <= 0 {
+					continue
+				}
+				name := ak + "/" + sk
+				got, _, err := RunDetailed(buildCrossval(p, ak, sk, "", maxW))
+				if err != nil {
+					t.Fatalf("%s cap %d: %v", name, maxW, err)
+				}
+				want, err := referenceRunDetailed(buildCrossval(p, ak, sk, "", maxW))
+				if err != nil {
+					t.Fatalf("%s cap %d: %v", name, maxW, err)
+				}
+				if got != want {
+					t.Fatalf("%s cap %d: refactored %+v != reference %+v", name, maxW, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedDoneSemantics pins the cancellation contract of the batched
+// loops: a Done channel closed before the run stops both engines at the
+// first poll with zero writes served, and an open Done channel must not
+// change the result relative to no channel at all (the polls land on the
+// same 1024-write boundaries as the reference loop's).
+func TestBatchedDoneSemantics(t *testing.T) {
+	p := optimProfile()
+	closed := make(chan struct{})
+	close(closed)
+	open := make(chan struct{})
+	cases := []struct{ ak, sk, lk string }{
+		{"uaa", "maxwe", ""},      // cyclic attack forced onto the batched path by Done
+		{"bpa", "maxwe", "tlsr"},  // batched leveled
+		{"random", "ps-best", ""}, // batched direct
+	}
+	for _, tc := range cases {
+		name := tc.ak + "/" + tc.sk + "/" + tc.lk
+		cfg := buildCrossval(p, tc.ak, tc.sk, tc.lk, 0)
+		cfg.Done = closed
+		res, _, err := RunDetailed(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Interrupted || res.UserWrites != 0 {
+			t.Fatalf("%s: pre-closed Done served %d writes, interrupted=%v",
+				name, res.UserWrites, res.Interrupted)
+		}
+		cfg = buildCrossval(p, tc.ak, tc.sk, tc.lk, 0)
+		cfg.Done = open
+		withOpen, _, err := RunDetailed(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		noDone, _, err := RunDetailed(buildCrossval(p, tc.ak, tc.sk, tc.lk, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if withOpen != noDone {
+			t.Fatalf("%s: open Done changed the result: %+v != %+v", name, withOpen, noDone)
+		}
+	}
+}
+
+// TestBatchedPerLineStateMatchesPerWrite compares the refactored engine
+// against the legacy loops at per-line granularity: same Result AND the
+// same writes counter and worn flag on every physical line. plainAttack
+// strips the batch/cyclic interfaces so the second run takes the old
+// runDirect/runGeneral path through the public API, which returns its
+// device for inspection.
+func TestBatchedPerLineStateMatchesPerWrite(t *testing.T) {
+	p := optimProfile()
+	cases := []struct{ ak, sk, lk string }{
+		{"uaa", "maxwe", ""}, {"uaa", "pcd", ""}, {"repeated", "none", ""},
+		{"partial-uaa", "ps-random", ""}, {"targeted-sweep", "pcd", ""},
+		{"bpa", "maxwe", "tlsr"}, {"bpa", "ps-worst", "wawl"},
+		{"random", "maxwe", "identity"}, {"hotcold", "maxwe", "start-gap"},
+	}
+	for _, tc := range cases {
+		name := tc.ak + "/" + tc.sk + "/" + tc.lk
+		gotRes, gotDev, err := RunDetailed(buildCrossval(p, tc.ak, tc.sk, tc.lk, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		legacy := buildCrossval(p, tc.ak, tc.sk, tc.lk, 0)
+		legacy.Attack = plainAttack{inner: legacy.Attack}
+		wantRes, wantDev, err := RunDetailed(legacy)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gotRes != wantRes {
+			t.Fatalf("%s: refactored %+v != legacy %+v", name, gotRes, wantRes)
+		}
+		for line := 0; line < p.Lines(); line++ {
+			if gotDev.Writes(line) != wantDev.Writes(line) || gotDev.Worn(line) != wantDev.Worn(line) {
+				t.Fatalf("%s: line %d diverged: %d/%v vs %d/%v", name, line,
+					gotDev.Writes(line), gotDev.Worn(line),
+					wantDev.Writes(line), wantDev.Worn(line))
+			}
+		}
+	}
+}
+
+// FuzzEngineCrossValidation is the satellite property test: arbitrary
+// (attack, scheme, leveler, fault-plan, cap) configurations must produce
+// byte-identical Result JSON from the pre-refactor reference loop and the
+// refactored engine. Fault plans route both engines through runGeneral,
+// so the fuzz also pins the hoisted-UserLines fix against the old
+// re-read-every-write behavior.
+func FuzzEngineCrossValidation(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(1), uint8(4), uint16(0), uint16(0))
+	f.Add(uint64(2), uint8(2), uint8(7), uint8(0), uint16(0), uint16(900))
+	f.Add(uint64(3), uint8(3), uint8(0), uint8(0), uint16(37), uint16(0))
+	f.Add(uint64(4), uint8(5), uint8(1), uint8(7), uint16(0), uint16(2048))
+	f.Add(uint64(5), uint8(6), uint8(4), uint8(2), uint16(403), uint16(1025))
+	f.Fuzz(func(t *testing.T, seed uint64, ak, sk, lk uint8, faultPM, maxW uint16) {
+		akind := crossvalAttacks[int(ak)%len(crossvalAttacks)]
+		skind := allSchemeKinds[int(sk)%len(allSchemeKinds)]
+		lkind := crossvalLevelers[int(lk)%len(crossvalLevelers)]
+		if skind == "pcd" {
+			lkind = ""
+		}
+		p := endurance.Linear(8, 8, 5, 250).Shuffled(xrand.New(seed))
+		// Every stateful component — the fault plan's RNG included — must
+		// be constructed fresh per engine run, or the first run's draws
+		// would skew the second's.
+		build := func() Config {
+			cfg := buildCrossval(p, akind, skind, lkind, int64(maxW))
+			cfg.Attack = buildAttack(akind, logicalOf(cfg), seed+3)
+			if faultPM > 0 {
+				plan, err := faultinject.NewPlan(faultinject.Config{
+					Seed:                seed + 9,
+					TransientProb:       float64(faultPM%97) / 1000,
+					StuckAtProb:         float64(faultPM%53) / 5000,
+					MetadataProb:        float64(faultPM%31) / 5000,
+					MaxTransientRetries: int(faultPM%7) + 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Faults = plan
+			}
+			return cfg
+		}
+		got, _, err := RunDetailed(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceRunDetailed(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%s/%s/%s cap %d faults %d:\nrefactored %s\nreference  %s",
+				akind, skind, lkind, maxW, faultPM, gotJSON, wantJSON)
+		}
+	})
+}
+
+// logicalOf returns the logical space an attack addresses under cfg.
+func logicalOf(cfg Config) int {
+	if cfg.Leveler != nil {
+		return cfg.Leveler.LogicalLines()
+	}
+	return cfg.Scheme.UserLines()
+}
+
+// ---------------------------------------------------------------------------
+// Fig7-cell benchmark: the acceptance workload for the SoA refactor. It
+// replicates one cell of the root BenchmarkFig7SWRPercentBPA grid (the
+// 90%-SWR Max-WE × TLSR × default BPA cell at the bench scale: 256×16
+// lines, mean endurance 1000, Psi 32, seeds derived from 20190602 exactly
+// as experiments.Setup does) without importing internal/experiments,
+// which would cycle.
+
+func fig7CellProfile() *endurance.Profile {
+	const mean, q = 1000.0, 50.0
+	el := 2 * mean / (1 + q)
+	return endurance.Linear(256, 16, el, el*q).ScaleToMean(mean).Shuffled(xrand.New(20190603))
+}
+
+func fig7CellConfig(p *endurance.Profile) Config {
+	opts := spare.DefaultMaxWEOptions()
+	opts.SWRFraction = 0.9
+	sch := spare.NewMaxWE(p, opts)
+	return Config{
+		Profile: p,
+		Scheme:  sch,
+		Leveler: wearlevel.NewTLSR(sch.UserLines(), 32, xrand.New(20190604)),
+		Attack:  attack.DefaultBPA(xrand.New(20190605)),
+	}
+}
+
+func TestFig7CellBatchedMatchesReference(t *testing.T) {
+	p := fig7CellProfile()
+	got, _, err := RunDetailed(fig7CellConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := referenceRunDetailed(fig7CellConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("refactored %+v != reference %+v", got, want)
+	}
+}
+
+// BenchmarkFig7CellBatched measures the refactored engine on the Fig7
+// acceptance cell (routes through runBatchedLeveled with the SwapWL
+// devirtualization and the slot→line cache).
+func BenchmarkFig7CellBatched(b *testing.B) {
+	p := fig7CellProfile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunDetailed(fig7CellConfig(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7CellReference measures the pre-refactor per-write engine
+// on the identical workload — the baseline the ≥5× acceptance criterion
+// compares against.
+func BenchmarkFig7CellReference(b *testing.B) {
+	p := fig7CellProfile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := referenceRunDetailed(fig7CellConfig(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

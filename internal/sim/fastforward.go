@@ -1,0 +1,112 @@
+// fastforward.go generalizes the analytic fast-forward beyond RunUAAFast.
+// Any attack whose stream is periodic and state-neutral (attack.
+// CyclicAttack: UAA, partial UAA, repeated hammer, targeted sweep)
+// admits quiescent-phase detection against any scheme: given the per-slot
+// write counts of one period, the number of whole periods until the first
+// possible wear-out is
+//
+//	S = min over attacked slots u of floor((remaining(line(u)) - 1) / counts[u])
+//
+// Those S periods contain no wear-out, so no binding changes, no scheme
+// state changes, and — because periods are state-neutral — no observable
+// attack-state change either. They collapse into O(attacked slots) slice
+// additions instead of S·period individual writes. The following period
+// is processed write-by-write through the exact per-write semantics (it
+// must contain a wear-out unless a cap intervenes), after which the cycle
+// re-derives. PCD's shrinking capacity is handled by breaking the tail as
+// soon as the user space changes and re-deriving the cycle at the new
+// size.
+//
+// Unlike RunUAAFast — which rounds lifetime to whole UAA rounds — this
+// path is exact: it reproduces the per-write reference Result bit for bit
+// (crossval_test.go), including MaxUserWrites truncation, so RunDetailed
+// routes every no-leveler, no-fault, no-Done cyclic configuration here.
+package sim
+
+import (
+	"maxwe/internal/attack"
+	"maxwe/internal/device"
+)
+
+// runCyclic is the generalized analytic fast-forward loop.
+func runCyclic(cfg Config, dev *device.Device, e *engine, att attack.CyclicAttack) (userWrites int64, interrupted bool) {
+	scheme := e.scheme
+	core := dev.Core()
+	maxWrites := cfg.MaxUserWrites
+	for {
+		if maxWrites > 0 && userWrites >= maxWrites {
+			return userWrites, false
+		}
+		n := scheme.UserLines()
+		if n == 0 {
+			e.failed = true
+			return userWrites, false
+		}
+		period, counts := att.Cycle(n)
+		if period <= 0 {
+			// Defensive: a CyclicAttack must describe a positive period;
+			// degrade to the plain per-write loop rather than spin.
+			uw, intr := runDirect(cfg, dev, e)
+			return userWrites + uw, intr
+		}
+
+		// Quiescent phase: how many whole periods can pass before any
+		// bound line could reach its budget?
+		skip := int64(-1)
+		for u := 0; u < n; u++ {
+			c := counts[u]
+			if c == 0 {
+				continue
+			}
+			line := scheme.Access(u)
+			rem := core.Endurance[line] - core.Writes[line]
+			if s := (rem - 1) / c; skip < 0 || s < skip {
+				skip = s
+				if s == 0 {
+					break
+				}
+			}
+		}
+		if skip < 0 {
+			skip = 0
+		}
+		if maxWrites > 0 {
+			if left := (maxWrites - userWrites) / period; left < skip {
+				skip = left
+			}
+		}
+		if skip > 0 {
+			for u := 0; u < n; u++ {
+				if c := counts[u]; c != 0 {
+					core.Writes[scheme.Access(u)] += skip * c
+				}
+			}
+			core.Total += skip * period
+			userWrites += skip * period
+		}
+
+		// Tail: at most one period, write-by-write with the exact
+		// per-write semantics. Unless MaxUserWrites truncates it, it
+		// contains the run's next wear-out.
+		for i := int64(0); i < period; i++ {
+			if maxWrites > 0 && userWrites >= maxWrites {
+				return userWrites, false
+			}
+			u := att.Next(n)
+			userWrites++
+			if core.Write(scheme.Access(u)) {
+				e.rebinds++
+				if !scheme.OnWearOut(u) {
+					e.failed = true
+					return userWrites, false
+				}
+				if scheme.UserLines() != n {
+					// PCD shrank the space: the cycle description is
+					// stale. State-neutral periods hold from any attack
+					// state, so re-deriving mid-period stays exact.
+					break
+				}
+			}
+		}
+	}
+}

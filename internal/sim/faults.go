@@ -99,6 +99,7 @@ func (e *engine) writeSlotFaulty(u int) bool {
 	}
 
 	if e.dev.Write(line) {
+		e.rebinds++
 		if !e.scheme.OnWearOut(u) {
 			e.failed = true
 			return false
@@ -113,6 +114,7 @@ func (e *engine) writeSlotFaulty(u int) bool {
 // the user space past u; the in-flight write then folds modulo the new
 // capacity, mirroring the Stepper's address folding.
 func (e *engine) rebind(u int) (slot, line int) {
+	e.rebinds++
 	if !e.scheme.OnWearOut(u) {
 		e.failed = true
 		return u, 0

@@ -135,6 +135,12 @@ type engine struct {
 	scheme spare.Scheme
 	failed bool
 
+	// rebinds counts OnWearOut invocations made through the engine. Loops
+	// that hoist scheme state which is only invalidated by a replacement
+	// (user capacity, slot→line bindings) compare it against a snapshot to
+	// refresh exactly across wear-outs instead of per write.
+	rebinds int64
+
 	// Fault layer (nil faults = the exact pre-fault write path; see
 	// faults.go).
 	faults *faultinject.Plan
@@ -167,6 +173,7 @@ func (e *engine) WriteSlot(u int) bool {
 	}
 	line := e.scheme.Access(u)
 	if e.dev.Write(line) {
+		e.rebinds++
 		if !e.scheme.OnWearOut(u) {
 			e.failed = true
 			return false
@@ -193,10 +200,36 @@ func RunDetailed(cfg Config) (Result, *device.Device, error) {
 
 	var userWrites int64
 	var interrupted bool
-	if cfg.Leveler == nil && e.faults == nil {
-		userWrites, interrupted = runDirect(cfg, dev, e)
-	} else {
+	switch {
+	case cfg.Faults.Enabled():
+		// Metadata faults can corrupt slot→line bindings behind the
+		// scheme's back, so fault runs stay on the uncached general loop.
 		userWrites, interrupted = runGeneral(cfg, e)
+	case cfg.Leveler == nil:
+		_, pcd := cfg.Scheme.(*spare.PCDScheme)
+		ca, cyclic := cfg.Attack.(attack.CyclicAttack)
+		ba, batch := cfg.Attack.(attack.BatchAttack)
+		switch {
+		case cyclic && cfg.Done == nil:
+			// Periodic state-neutral streams: skip whole quiescent periods
+			// analytically (fastforward.go). Handles PCD's shrinking space
+			// by re-deriving the cycle after every wear-out. Excluded when
+			// Done is set so the 1024-write cancellation polls land at the
+			// exact same write indexes as the per-write loops.
+			userWrites, interrupted = runCyclic(cfg, dev, e, ca)
+		case batch && !pcd:
+			// Capacity-stable schemes: epoch-batched struct-of-arrays loop
+			// with cached bindings and amortized wear-out checks (batch.go).
+			userWrites, interrupted = runBatchedDirect(cfg, dev, e, ba)
+		default:
+			userWrites, interrupted = runDirect(cfg, dev, e)
+		}
+	default:
+		if ba, ok := cfg.Attack.(attack.BatchAttack); ok {
+			userWrites, interrupted = runBatchedLeveled(cfg, dev, e, ba)
+		} else {
+			userWrites, interrupted = runGeneral(cfg, e)
+		}
 	}
 	return buildResult(cfg, dev, userWrites, e, interrupted), dev, nil
 }
@@ -246,12 +279,18 @@ func runDirect(cfg Config, dev *device.Device, e *engine) (userWrites int64, int
 // runGeneral handles the leveled and fault-injecting configurations, where
 // writes must flow through engine.WriteSlot (and relocation traffic through
 // the Mover interface). The logical address space never changes size, so it
-// is hoisted out of the loop.
+// is hoisted out of the loop. The unleveled user capacity is also hoisted:
+// as in runDirect, it can only change inside a wear-out replacement (PCD's
+// shrink, or a fault-path rebind), so it is refreshed exactly when the
+// engine's rebind counter moves instead of being two interface calls per
+// write.
 func runGeneral(cfg Config, e *engine) (userWrites int64, interrupted bool) {
 	logicalLines := 0
 	if cfg.Leveler != nil {
 		logicalLines = cfg.Leveler.LogicalLines()
 	}
+	userLines := cfg.Scheme.UserLines()
+	rebinds := e.rebinds
 	for {
 		if cfg.MaxUserWrites > 0 && userWrites >= cfg.MaxUserWrites {
 			return userWrites, false
@@ -265,15 +304,19 @@ func runGeneral(cfg Config, e *engine) (userWrites int64, interrupted bool) {
 		}
 		// See runDirect: the exhausting write still counts as served.
 		if cfg.Leveler == nil {
-			if cfg.Scheme.UserLines() == 0 {
+			if userLines == 0 {
 				e.failed = true
 				return userWrites, false
 			}
-			u := cfg.Attack.Next(cfg.Scheme.UserLines())
+			u := cfg.Attack.Next(userLines)
 			ok := e.WriteSlot(u)
 			userWrites++
 			if !ok {
 				return userWrites, false
+			}
+			if e.rebinds != rebinds {
+				rebinds = e.rebinds
+				userLines = cfg.Scheme.UserLines()
 			}
 			continue
 		}

@@ -56,7 +56,14 @@ type Scheme interface {
 	// constant for every scheme except PCD, whose capacity shrinks.
 	UserLines() int
 	// Access returns the device line currently backing user slot
-	// u in [0, UserLines()).
+	// u in [0, UserLines()). Access is a pure lookup: it never mutates
+	// scheme state. Slot→line bindings change only inside OnWearOut, and
+	// OnWearOut(u) rebinds only slot u (plus, under PCD, the former last
+	// slot whose binding moves into u as the space shrinks). The batched
+	// sim engine (internal/sim) caches Access results across writes on
+	// the strength of this contract; implementations that break it (or
+	// external metadata corruption, see sim.MetadataFaulter) must stay on
+	// the uncached per-write path.
 	Access(u int) int
 	// BaseLine returns the boot-time device line of slot u, independent of
 	// later replacements. Wear-leveling substrates use it to attach a

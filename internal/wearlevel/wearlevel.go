@@ -318,12 +318,30 @@ func (l *SwapWL) pick() int {
 	return l.src.Intn(len(l.perm))
 }
 
-// OnWrite implements Leveler.
+// HotState exposes the live logical→slot permutation and per-line write
+// credits for the devirtualized sim fast path (internal/sim): the hot
+// loop reads perm for translation and decrements credit in place, calling
+// Relocate only when a credit reaches zero — exactly OnWrite's split. The
+// returned slices alias the leveler's state and stay valid across
+// Relocate calls (relocations mutate entries, never reallocate).
+func (l *SwapWL) HotState() (perm []int, credit []int) { return l.perm, l.credit }
+
+// OnWrite implements Leveler: decrement the line's dwell credit and
+// relocate once it is exhausted.
 func (l *SwapWL) OnWrite(lla int, mov Mover) bool {
 	l.credit[lla]--
 	if l.credit[lla] > 0 {
 		return true
 	}
+	return l.Relocate(lla, mov)
+}
+
+// Relocate performs the relocation slow path for a line whose credit is
+// exhausted (credit[lla] <= 0 after the caller's decrement): pick a
+// destination, swap placements at two data-movement writes, and grant
+// fresh dwell credits. Exposed so the sim fast path can inline the credit
+// decrement and pay the policy cost only on the rare exhaustion.
+func (l *SwapWL) Relocate(lla int, mov Mover) bool {
 	dest := l.pick()
 	cur := l.perm[lla]
 	if dest == cur {

@@ -400,3 +400,55 @@ func BenchmarkStartGapTranslate(b *testing.B) {
 		_ = l.Translate(i & 4094)
 	}
 }
+
+// The HotState + Relocate split must be observationally identical to
+// OnWrite: two identically-seeded levelers, one driven through OnWrite
+// and one through the inlined fast path the sim engine uses, must issue
+// the same mover writes and end in the same placement/credit state.
+func TestHotStateRelocateMatchesOnWrite(t *testing.T) {
+	for _, mk := range []func(seed uint64) *SwapWL{
+		func(s uint64) *SwapWL { return NewTLSR(24, 6, xrand.New(s)) },
+		func(s uint64) *SwapWL { return NewPCMS(24, 6, xrand.New(s)) },
+		func(s uint64) *SwapWL { return NewBWL(24, gradedMetrics(24), 6, xrand.New(s)) },
+		func(s uint64) *SwapWL { return NewWAWL(24, gradedMetrics(24), 6, xrand.New(s)) },
+	} {
+		ref, fast := mk(7), mk(7)
+		perm, credit := fast.HotState()
+		refMov, fastMov := &recordingMover{}, &recordingMover{}
+		addrs := xrand.New(8)
+		for step := 0; step < 5000; step++ {
+			lla := addrs.Intn(24)
+			if ref.Translate(lla) != perm[lla] {
+				t.Fatalf("%s: step %d: HotState perm diverged from Translate", ref.Name(), step)
+			}
+			if !ref.OnWrite(lla, refMov) {
+				t.Fatalf("%s: reference OnWrite failed", ref.Name())
+			}
+			// The sim fast path: inline decrement, Relocate on exhaustion.
+			credit[lla]--
+			if credit[lla] <= 0 {
+				if !fast.Relocate(lla, fastMov) {
+					t.Fatalf("%s: Relocate failed", fast.Name())
+				}
+			}
+		}
+		if len(refMov.writes) != len(fastMov.writes) {
+			t.Fatalf("%s: mover write counts diverged: %d vs %d",
+				ref.Name(), len(refMov.writes), len(fastMov.writes))
+		}
+		for i := range refMov.writes {
+			if refMov.writes[i] != fastMov.writes[i] {
+				t.Fatalf("%s: mover write %d diverged: %d vs %d",
+					ref.Name(), i, refMov.writes[i], fastMov.writes[i])
+			}
+		}
+		for lla := 0; lla < 24; lla++ {
+			if ref.perm[lla] != perm[lla] || ref.credit[lla] != credit[lla] {
+				t.Fatalf("%s: final state diverged at line %d", ref.Name(), lla)
+			}
+		}
+		if ref.Swaps() != fast.Swaps() {
+			t.Fatalf("%s: swap counts diverged: %d vs %d", ref.Name(), ref.Swaps(), fast.Swaps())
+		}
+	}
+}
