@@ -1,5 +1,13 @@
 GO ?= go
 
+# BENCH_OUT names the JSON file `make bench` writes and `make
+# bench-compare` treats as "current"; override it to regenerate an older
+# snapshot (make bench BENCH_OUT=BENCH_PR8.json) or to compare one.
+BENCH_OUT ?= BENCH_PR9.json
+
+# BENCH_BASE is the committed snapshot bench-compare diffs against.
+BENCH_BASE ?= BENCH_PR8.json
+
 .PHONY: build test race race-concurrent vet lint lint-json lint-schema verify faults bench bench-compare bench-smoke serve-smoke chaos chaos-smoke
 
 build:
@@ -11,11 +19,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# race-concurrent focuses the race detector on the two packages that
-# legitimately spawn goroutines (every //lint:allow nondeterminism waiver
-# lives there), so a waivered data race cannot ride in under a green lint.
+# race-concurrent focuses the race detector on the packages that
+# legitimately spawn goroutines or share state across them (every
+# //lint:allow nondeterminism waiver lives there), so a waivered data
+# race cannot ride in under a green lint.
 race-concurrent:
-	$(GO) test -race ./internal/runner/... ./internal/service/...
+	$(GO) test -race ./internal/memo/... ./internal/runner/... ./internal/service/...
 
 vet:
 	$(GO) vet ./...
@@ -44,28 +53,29 @@ faults:
 	$(GO) run -race ./cmd/nvmsim -regions 128 -lines-per-region 8 -endurance 300 \
 		-fault-transient 0.01 -fault-stuckat 0.0005 -fault-metadata 0.0005 -fault-seed 7
 
-# bench regenerates BENCH_PR8.json: every figure/table bench, the sweep
-# supervisor at Parallelism 1 vs 0, the batched Fig7 cell against its
-# per-write reference, the UAA fast path, and the nvmd submit round trip,
-# parsed to JSON (with NumCPU/GOMAXPROCS metadata) by cmd/benchjson. A
-# second run repeats the runner sweep at GOMAXPROCS 2 and 4 (the -cpu
-# suffixes become benchjson's "procs" field) to record multi-core
-# scaling; it appends to the same log so one conversion sees both.
-# Separate steps so a bench failure stops make instead of vanishing
-# into a pipe.
+# bench regenerates $(BENCH_OUT): every figure/table bench (including
+# the cold/warm memo-cache sweep), the sweep supervisor at Parallelism 1
+# vs 0, the batched Fig7 cell against its per-write reference, the UAA
+# fast path, and the nvmd submit round trip, parsed to JSON (with
+# NumCPU/GOMAXPROCS metadata) by cmd/benchjson. A second run repeats the
+# runner sweep at GOMAXPROCS 2 and 4 (the -cpu suffixes become
+# benchjson's "procs" field) to record multi-core scaling; it appends to
+# the same log so one conversion sees both. Separate steps so a bench
+# failure stops make instead of vanishing into a pipe.
 bench:
 	$(GO) test -run '^$$' -bench '^Benchmark(Fig|Table|Runner|UAAFast|Service)' -benchmem \
 		. ./internal/sim/ ./internal/service/ > bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkRunnerScaling$$' -benchmem -cpu 2,4 . >> bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR8.json < bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
 	@rm -f bench.out
 
-# bench-compare fails when the current BENCH_PR8.json regressed more
-# than 20% ns/op against the committed PR5 baseline on any benchmark
-# both files contain. CI runs it non-blocking: shared runners are noisy,
-# but the table still lands in the log.
+# bench-compare fails when the current $(BENCH_OUT) regressed more than
+# 20% ns/op against the committed $(BENCH_BASE) snapshot on any
+# benchmark both files contain, and prints a per-name diagnostic for
+# benchmarks present in only one file. CI runs it non-blocking: shared
+# runners are noisy, but the table still lands in the log.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) $(BENCH_OUT)
 
 # bench-smoke runs every benchmark exactly once and checks the output
 # still parses — the CI guard that `make bench` cannot rot.

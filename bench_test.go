@@ -23,6 +23,7 @@ import (
 	"maxwe/internal/endurance"
 	"maxwe/internal/experiments"
 	"maxwe/internal/mapping"
+	"maxwe/internal/memo"
 	"maxwe/internal/perfmodel"
 	"maxwe/internal/report"
 	"maxwe/internal/runner"
@@ -684,6 +685,52 @@ func BenchmarkRunnerParallel(b *testing.B) { benchRunnerSweep(b, 0) }
 // recording host, rather than an assumed one. On a single-core host the
 // entries coincide — that, too, is a measurement worth recording.
 func BenchmarkRunnerScaling(b *testing.B) { benchRunnerSweep(b, runtime.GOMAXPROCS(0)) }
+
+// benchMemoSweep runs the whole Fig7+Fig8 sweep (all SWR percentages,
+// all substrates, all spare schemes) through the sweep supervisor against
+// the given result cache.
+func benchMemoSweep(b *testing.B, cache *memo.Cache) {
+	s := benchSetup()
+	percents := []int{0, 20, 60, 80, 90, 100}
+	cfg := runner.Config{Parallelism: 1, Cache: cache}
+	if _, err := runner.Run(context.Background(), cfg, experiments.Fig7Cells(s, percents, experiments.WLNames())); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := runner.Run(context.Background(), cfg, experiments.Fig8Cells(s)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFigSweepMemoCold times the full Fig7+Fig8 sweep against an
+// empty result cache: every cell computes and is written through to disk.
+// This is the baseline the warm benchmark's speedup is measured against
+// (BENCH_PR9.json).
+func BenchmarkFigSweepMemoCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, err := memo.Open(memo.Options{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		benchMemoSweep(b, cache)
+	}
+}
+
+// BenchmarkFigSweepMemoWarm times the same whole-figure sweep against a
+// pre-populated cache: every cell is a memo hit and no simulation runs.
+// The cold/warm ratio is the headline of the content-addressed cache.
+func BenchmarkFigSweepMemoWarm(b *testing.B) {
+	cache, err := memo.Open(memo.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMemoSweep(b, cache) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchMemoSweep(b, cache)
+	}
+}
 
 // BenchmarkUAAFastPath measures the event-driven UAA engine.
 func BenchmarkUAAFastPath(b *testing.B) {

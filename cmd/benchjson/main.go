@@ -14,8 +14,12 @@
 //
 // The -compare form reads two previously written documents and exits
 // nonzero when any benchmark present in both regressed by more than
-// -threshold (default 20%) in ns/op. CI runs it as a non-blocking step so
-// a noisy runner cannot fail the build, but the regression table still
+// -threshold (default 20%) in ns/op; with -allocs F an allocs/op growth
+// beyond fraction F fails too (0 disables the gate). Benchmarks present
+// in only one document cannot regress, but each one is named in a
+// per-benchmark "only in old/new" diagnostic so a silently vanished
+// benchmark is visible in the log. CI runs -compare as a non-blocking
+// step so a noisy runner cannot fail the build, but the table still
 // lands in the log.
 package main
 
@@ -56,6 +60,7 @@ func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
 	comparing := flag.Bool("compare", false, "compare two benchjson documents: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.20, "with -compare, the ns/op regression fraction that fails the run")
+	allocs := flag.Float64("allocs", 0, "with -compare, the allocs/op growth fraction that fails the run (0 disables)")
 	flag.Parse()
 
 	if *comparing {
@@ -73,7 +78,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		deltas := compare(oldDoc.Benchmarks, newDoc.Benchmarks)
+		deltas, retired, added := compare(oldDoc.Benchmarks, newDoc.Benchmarks)
 		regressed := false
 		for _, d := range deltas {
 			verdict := "ok"
@@ -81,10 +86,32 @@ func main() {
 				verdict = "REGRESSION"
 				regressed = true
 			}
-			fmt.Printf("%-48s procs=%-2d %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			line := fmt.Sprintf("%-48s procs=%-2d %14.0f -> %14.0f ns/op  %+6.1f%%  %s",
 				d.Name, d.Procs, d.OldNsPerOp, d.NewNsPerOp, (d.Ratio-1)*100, verdict)
+			if *allocs > 0 && d.AllocsRatio > 0 {
+				averdict := "ok"
+				if d.AllocsRatio > 1+*allocs {
+					averdict = "REGRESSION"
+					regressed = true
+				}
+				line += fmt.Sprintf("  %.0f -> %.0f allocs/op  %+6.1f%%  %s",
+					d.OldAllocsPerOp, d.NewAllocsPerOp, (d.AllocsRatio-1)*100, averdict)
+			}
+			fmt.Println(line)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks (threshold %+.0f%%)\n", len(deltas), *threshold*100)
+		// Unpaired benchmarks cannot regress, but name each one so a bench
+		// that silently vanished (or is measured for the first time) is
+		// visible rather than skipped without a trace.
+		for _, b := range retired {
+			fmt.Printf("%-48s procs=%-2d only in %s — retired or not run; no comparison\n",
+				b.Name, b.Procs, flag.Arg(0))
+		}
+		for _, b := range added {
+			fmt.Printf("%-48s procs=%-2d only in %s — new benchmark; no baseline\n",
+				b.Name, b.Procs, flag.Arg(1))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks, %d only-old, %d only-new (threshold %+.0f%%)\n",
+			len(deltas), len(retired), len(added), *threshold*100)
 		if regressed {
 			os.Exit(1)
 		}
@@ -137,6 +164,13 @@ type Delta struct {
 	OldNsPerOp float64
 	NewNsPerOp float64
 	Ratio      float64
+	// OldAllocsPerOp, NewAllocsPerOp and AllocsRatio mirror the ns/op
+	// triple for the -benchmem allocation count; AllocsRatio is 0 when
+	// either document lacks the measurement (no -benchmem, or zero
+	// allocations in the baseline — nothing meaningful to gate).
+	OldAllocsPerOp float64
+	NewAllocsPerOp float64
+	AllocsRatio    float64
 }
 
 // load reads a document previously written with -o.
@@ -152,34 +186,54 @@ func load(path string) (Output, error) {
 	return doc, nil
 }
 
-// compare pairs benchmarks by name+procs and reports the ns/op ratio for
-// every pair, preserving the new document's order. Benchmarks present in
-// only one document are skipped — adding or retiring a benchmark is not a
-// regression.
-func compare(oldB, newB []Benchmark) []Delta {
+// compare pairs benchmarks by name+procs and reports the ns/op (and,
+// when both sides measured it, allocs/op) ratio for every pair,
+// preserving the new document's order. Benchmarks present in only one
+// document are returned separately — adding or retiring a benchmark is
+// not a regression, but the caller names each one so nothing vanishes
+// silently. retired preserves the old document's order, added the new
+// document's.
+func compare(oldB, newB []Benchmark) (deltas []Delta, retired, added []Benchmark) {
 	type key struct {
 		name  string
 		procs int
 	}
 	olds := make(map[key]Benchmark, len(oldB))
+	paired := make(map[key]bool, len(oldB))
 	for _, b := range oldB {
 		olds[key{b.Name, b.Procs}] = b
 	}
-	var deltas []Delta
 	for _, nb := range newB {
-		ob, found := olds[key{nb.Name, nb.Procs}]
-		if !found || ob.NsPerOp <= 0 {
+		k := key{nb.Name, nb.Procs}
+		ob, found := olds[k]
+		if !found {
+			added = append(added, nb)
 			continue
 		}
-		deltas = append(deltas, Delta{
+		paired[k] = true
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{
 			Name:       nb.Name,
 			Procs:      nb.Procs,
 			OldNsPerOp: ob.NsPerOp,
 			NewNsPerOp: nb.NsPerOp,
 			Ratio:      nb.NsPerOp / ob.NsPerOp,
-		})
+		}
+		if ob.AllocsPerOp > 0 {
+			d.OldAllocsPerOp = ob.AllocsPerOp
+			d.NewAllocsPerOp = nb.AllocsPerOp
+			d.AllocsRatio = nb.AllocsPerOp / ob.AllocsPerOp
+		}
+		deltas = append(deltas, d)
 	}
-	return deltas
+	for _, ob := range oldB {
+		if !paired[key{ob.Name, ob.Procs}] {
+			retired = append(retired, ob)
+		}
+	}
+	return deltas, retired, added
 }
 
 // parse scans go test output for result lines. A result line is

@@ -43,7 +43,7 @@ func TestCompareKeysByNameAndProcs(t *testing.T) {
 		{Name: "RunnerScaling", Procs: 2, NsPerOp: 260},
 		{Name: "Added", Procs: 1, NsPerOp: 1},
 	}
-	deltas := compare(oldB, newB)
+	deltas, retired, added := compare(oldB, newB)
 	if len(deltas) != 3 {
 		t.Fatalf("got %d deltas, want 3 (added/retired benches must be skipped): %+v", len(deltas), deltas)
 	}
@@ -59,14 +59,49 @@ func TestCompareKeysByNameAndProcs(t *testing.T) {
 	if d := deltas[2]; d.Procs != 2 || d.OldNsPerOp != 250 {
 		t.Errorf("procs=2 delta paired wrong: %+v", d)
 	}
+	// Unpaired benchmarks come back by name so the caller can diagnose
+	// them instead of dropping them silently.
+	if len(retired) != 1 || retired[0].Name != "Retired" {
+		t.Errorf("retired = %+v, want [Retired]", retired)
+	}
+	if len(added) != 1 || added[0].Name != "Added" {
+		t.Errorf("added = %+v, want [Added]", added)
+	}
+}
+
+func TestCompareTracksAllocsWhenBothMeasured(t *testing.T) {
+	oldB := []Benchmark{
+		{Name: "WithAllocs", Procs: 1, NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "NoAllocs", Procs: 1, NsPerOp: 100},
+	}
+	newB := []Benchmark{
+		{Name: "WithAllocs", Procs: 1, NsPerOp: 100, AllocsPerOp: 15},
+		{Name: "NoAllocs", Procs: 1, NsPerOp: 100, AllocsPerOp: 5},
+	}
+	deltas, _, _ := compare(oldB, newB)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	if d := deltas[0]; math.Abs(d.AllocsRatio-1.5) > 1e-9 || d.OldAllocsPerOp != 10 || d.NewAllocsPerOp != 15 {
+		t.Errorf("allocs delta = %+v, want ratio 1.5", d)
+	}
+	// A baseline without -benchmem data (allocs/op 0) has nothing to gate.
+	if d := deltas[1]; d.AllocsRatio != 0 {
+		t.Errorf("no-baseline allocs ratio = %v, want 0", d.AllocsRatio)
+	}
 }
 
 func TestCompareSkipsZeroBaseline(t *testing.T) {
-	deltas := compare(
+	deltas, retired, added := compare(
 		[]Benchmark{{Name: "X", Procs: 1, NsPerOp: 0}},
 		[]Benchmark{{Name: "X", Procs: 1, NsPerOp: 10}},
 	)
 	if len(deltas) != 0 {
 		t.Fatalf("zero-ns/op baseline must be skipped, got %+v", deltas)
+	}
+	// A zero baseline is still paired — it must not masquerade as
+	// retired or added.
+	if len(retired) != 0 || len(added) != 0 {
+		t.Fatalf("zero baseline misclassified: retired=%+v added=%+v", retired, added)
 	}
 }

@@ -16,6 +16,7 @@
 //	figures -fig 8 -csv
 //	figures -quick     # the fast benchmark scale instead of the full one
 //	figures -fig 8 -checkpoint /tmp/fig-ckpt   # resumable sweep
+//	figures -fig 8 -cache      # memoized: a warm rerun is near-instant
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"maxwe/internal/encoding"
 	"maxwe/internal/experiments"
 	"maxwe/internal/mapping"
+	"maxwe/internal/memo"
 	"maxwe/internal/report"
 	"maxwe/internal/runner"
 	"maxwe/internal/sim"
@@ -57,7 +59,15 @@ var (
 		"additional deterministic attempts per failed sweep cell")
 	parallelFlag = flag.Int("parallel", 0,
 		"worker count for the sweep artifacts (0 = one per CPU, 1 = sequential); results are identical at every setting")
+	cacheFlag = flag.Bool("cache", false,
+		"memoize sweep cells in the content-addressed result cache: a rerun of any sweep sharing the cache serves unchanged cells instantly, bit-identically")
+	cacheDir = flag.String("cache-dir", "",
+		"result cache directory (implies -cache; default .maxwe-cache)")
 )
+
+// memoCache is the process-wide result cache (nil when -cache is off);
+// the sweep artifacts hand it to the runner.
+var memoCache *memo.Cache
 
 // runCtx is canceled on SIGINT/SIGTERM; the sweep artifacts poll it and
 // the all-artifacts loop stops between artifacts.
@@ -106,6 +116,18 @@ func main() {
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+	}
+	if *cacheFlag || *cacheDir != "" {
+		dir := *cacheDir
+		if dir == "" {
+			dir = ".maxwe-cache"
+		}
+		var err error
+		memoCache, err = memo.Open(memo.Options{Dir: dir})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(2)
 		}
@@ -234,6 +256,7 @@ func sweepConfig(artifact string, s experiments.Setup) runner.Config {
 		CellTimeout: *cellTimeout,
 		Retries:     *retriesFlag,
 		Parallelism: *parallelFlag,
+		Cache:       memoCache,
 		Progress: func(ev runner.Event) {
 			switch ev.Status {
 			case runner.StatusRetry, runner.StatusFailed:
@@ -241,6 +264,8 @@ func sweepConfig(artifact string, s experiments.Setup) runner.Config {
 					ev.Key, ev.Status, ev.Attempt, ev.Err)
 			case runner.StatusCached:
 				fmt.Fprintf(os.Stderr, "figures: %s resumed from checkpoint\n", ev.Key)
+			case runner.StatusMemo:
+				fmt.Fprintf(os.Stderr, "figures: %s served from result cache\n", ev.Key)
 			}
 		},
 	}

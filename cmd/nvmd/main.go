@@ -1,18 +1,21 @@
 // Command nvmd is the long-running experiment daemon plus its client CLI.
 //
-//	nvmd serve   -data DIR [-addr HOST:PORT] [-job-workers N] [-queue N] [-port-file PATH]
+//	nvmd serve   -data DIR [-addr HOST:PORT] [-job-workers N] [-queue N] [-port-file PATH] [-cache] [-cache-dir DIR]
 //	nvmd submit  -spec FILE|- [client flags] [-wait]
 //	nvmd status  -id JOB [client flags] [-partial]
 //	nvmd wait    -id JOB [client flags]
 //	nvmd cancel  -id JOB [client flags]
 //	nvmd result  -id JOB [client flags]
 //	nvmd metrics [client flags]
+//	nvmd cache   [client flags]
 //
 // serve runs until SIGINT/SIGTERM, then drains: running jobs are
 // interrupted (their checkpoints keep every completed cell) and resume on
-// the next start. submit reads a JSON JobSpec from a file or stdin and
-// prints the assigned job; with -wait it follows the event stream and
-// exits non-zero unless the job completes.
+// the next start. With -cache the daemon memoizes every cell result in a
+// content-addressed cache under <data>/cache (or -cache-dir), shared
+// across jobs and restarts. submit reads a JSON JobSpec from a file or
+// stdin and prints the assigned job; with -wait it follows the event
+// stream and exits non-zero unless the job completes.
 //
 // Every client subcommand shares the retry knobs alongside -addr:
 // -retry-attempts, -retry-base, -retry-max and -request-timeout tune the
@@ -31,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -59,6 +63,8 @@ func main() {
 		err = cmdResult(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -84,6 +90,7 @@ commands:
   cancel   cancel a queued or running job
   result   print a done job's result document
   metrics  print the daemon's counters
+  cache    print the daemon's result-cache status and counters
 
 run "nvmd <command> -h" for that command's flags.
 `)
@@ -98,17 +105,23 @@ func cmdServe(args []string) error {
 	workers := fs.Int("job-workers", 2, "concurrent jobs")
 	queue := fs.Int("queue", 1024, "job queue depth")
 	portFile := fs.String("port-file", "", "write the bound address here once listening")
+	cache := fs.Bool("cache", false, "memoize cell results in a content-addressed cache shared across jobs and restarts")
+	cacheDir := fs.String("cache-dir", "", "result cache directory (implies -cache; default <data>/cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return fmt.Errorf("serve: -data is required")
 	}
+	if *cache && *cacheDir == "" {
+		*cacheDir = filepath.Join(*data, "cache")
+	}
 
 	mgr, err := service.NewManager(service.Config{
 		DataDir:    *data,
 		JobWorkers: *workers,
 		QueueDepth: *queue,
+		CacheDir:   *cacheDir,
 	})
 	if err != nil {
 		return err
@@ -327,6 +340,20 @@ func cmdMetrics(args []string) error {
 		return fmt.Errorf("metrics: write: %w", err)
 	}
 	return nil
+}
+
+// cmdCache prints the daemon's result-cache status document.
+func cmdCache(args []string) error {
+	fs := newFlagSet("cache")
+	mkClient := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cs, err := mkClient().CacheStats(context.Background())
+	if err != nil {
+		return err
+	}
+	return printJSON(cs)
 }
 
 // newFlagSet names a subcommand flag set consistently.

@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"maxwe"
+	"maxwe/internal/memo"
 	"maxwe/internal/perfmodel"
 	"maxwe/internal/report"
 	"maxwe/internal/runner"
@@ -57,6 +58,8 @@ func main() {
 	wearBuckets := flag.Int("wear-buckets", 0, "print a wear histogram with this many buckets (0 = off)")
 	seedsFlag := flag.Int("seeds", 1, "simulate this many consecutive seeds (seed, seed+1, ...) and report the spread")
 	parallelFlag := flag.Int("parallel", 0, "worker count for -seeds sweeps (0 = one per CPU, 1 = sequential); results are identical at every setting")
+	cacheFlag := flag.Bool("cache", false, "memoize -seeds sweep cells in the content-addressed result cache (bit-identical reruns are near-instant)")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (implies -cache; default .maxwe-cache)")
 	flag.Parse()
 
 	// Ctrl-C cancels the run cooperatively; the partial result is printed
@@ -65,7 +68,7 @@ func main() {
 	defer stop()
 
 	if *seedsFlag > 1 {
-		runSeedSweep(ctx, cfg, *seedsFlag, *parallelFlag)
+		runSeedSweep(ctx, cfg, *seedsFlag, *parallelFlag, openCache(*cacheFlag, *cacheDir))
 		return
 	}
 
@@ -135,13 +138,14 @@ func main() {
 // plus their spread. Every run is an independent cell, so the sweep is
 // embarrassingly parallel yet produces the same table at every worker
 // count.
-func runSeedSweep(ctx context.Context, base maxwe.Config, seeds, parallel int) {
+func runSeedSweep(ctx context.Context, base maxwe.Config, seeds, parallel int, cache *memo.Cache) {
 	cells := make([]runner.Cell[maxwe.Result], seeds)
 	for i := 0; i < seeds; i++ {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
 		cells[i] = runner.Cell[maxwe.Result]{
-			Key: fmt.Sprintf("seed/%d", cfg.Seed),
+			Key:         fmt.Sprintf("seed/%d", cfg.Seed),
+			Fingerprint: cfg.Fingerprint(),
 			Run: func(c context.Context) (maxwe.Result, error) {
 				sys, err := maxwe.New(cfg)
 				if err != nil {
@@ -157,7 +161,7 @@ func runSeedSweep(ctx context.Context, base maxwe.Config, seeds, parallel int) {
 			},
 		}
 	}
-	rep, err := runner.Run(ctx, runner.Config{Parallelism: parallel}, cells)
+	rep, err := runner.Run(ctx, runner.Config{Parallelism: parallel, Cache: cache}, cells)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvmsim:", err)
 		os.Exit(2)
@@ -201,6 +205,23 @@ func runSeedSweep(ctx context.Context, base maxwe.Config, seeds, parallel int) {
 	if len(rep.Failed) > 0 {
 		os.Exit(1)
 	}
+}
+
+// openCache opens the content-addressed result cache when -cache or
+// -cache-dir asked for one; nil disables memoization.
+func openCache(enabled bool, dir string) *memo.Cache {
+	if !enabled && dir == "" {
+		return nil
+	}
+	if dir == "" {
+		dir = ".maxwe-cache"
+	}
+	c, err := memo.Open(memo.Options{Dir: dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvmsim:", err)
+		os.Exit(2)
+	}
+	return c
 }
 
 func orNone(s string) string {

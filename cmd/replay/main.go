@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"maxwe"
+	"maxwe/internal/memo"
 	"maxwe/internal/report"
 	"maxwe/internal/runner"
 	"maxwe/internal/trace"
@@ -51,6 +52,8 @@ func main() {
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	seedsFlag := flag.Int("seeds", 1, "replay against this many consecutively seeded stacks and report the spread")
 	parallelFlag := flag.Int("parallel", 0, "worker count for -seeds sweeps (0 = one per CPU, 1 = sequential); results are identical at every setting")
+	cacheFlag := flag.Bool("cache", false, "memoize -seeds sweep cells in the content-addressed result cache (keyed by config, loop budget and trace content)")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (implies -cache; default .maxwe-cache)")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -89,7 +92,8 @@ func main() {
 	defer stop()
 
 	if *seedsFlag > 1 {
-		runSeedSweep(ctx, cfg, records, *tracePath, writesInTrace, *loops, *seedsFlag, *parallelFlag)
+		runSeedSweep(ctx, cfg, records, *tracePath, writesInTrace, *loops, *seedsFlag, *parallelFlag,
+			openCache(*cacheFlag, *cacheDir))
 		return
 	}
 
@@ -156,13 +160,23 @@ type seedReplay struct {
 // stacks and prints the wear spread. Each replay is an independent cell,
 // so worker count never changes the table.
 func runSeedSweep(ctx context.Context, base maxwe.Config, records []trace.Record,
-	tracePath string, writesInTrace, loops, seeds, parallel int) {
+	tracePath string, writesInTrace, loops, seeds, parallel int, cache *memo.Cache) {
+	// The replay result depends on the trace content, not its file name,
+	// so the cache key hashes the decoded records once and folds the
+	// digest into every cell fingerprint alongside the stack config
+	// (which carries the engine schema version) and the loop budget.
+	traceFP := memo.Fingerprint("trace", records)
 	cells := make([]runner.Cell[seedReplay], seeds)
 	for i := 0; i < seeds; i++ {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
 		cells[i] = runner.Cell[seedReplay]{
 			Key: fmt.Sprintf("seed/%d", cfg.Seed),
+			Fingerprint: memo.Fingerprint("replay/v1", struct {
+				Config string `json:"config"`
+				Loops  int    `json:"loops"`
+				Trace  string `json:"trace"`
+			}{cfg.Fingerprint(), loops, traceFP}),
 			Run: func(c context.Context) (seedReplay, error) {
 				sys, err := maxwe.New(cfg)
 				if err != nil {
@@ -178,7 +192,7 @@ func runSeedSweep(ctx context.Context, base maxwe.Config, records []trace.Record
 			},
 		}
 	}
-	rep, err := runner.Run(ctx, runner.Config{Parallelism: parallel}, cells)
+	rep, err := runner.Run(ctx, runner.Config{Parallelism: parallel, Cache: cache}, cells)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(2)
@@ -211,6 +225,23 @@ func runSeedSweep(ctx context.Context, base maxwe.Config, records []trace.Record
 	if len(rep.Failed) > 0 {
 		os.Exit(1)
 	}
+}
+
+// openCache opens the content-addressed result cache when -cache or
+// -cache-dir asked for one; nil disables memoization.
+func openCache(enabled bool, dir string) *memo.Cache {
+	if !enabled && dir == "" {
+		return nil
+	}
+	if dir == "" {
+		dir = ".maxwe-cache"
+	}
+	c, err := memo.Open(memo.Options{Dir: dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(2)
+	}
+	return c
 }
 
 func orNone(s string) string {

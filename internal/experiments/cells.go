@@ -30,6 +30,19 @@ func (s Setup) Fingerprint() string {
 		s.VariationQ, s.Psi, s.Seed)
 }
 
+// CellFingerprint is the per-cell sibling of Fingerprint: the canonical
+// content-address of one sweep cell's result for the memo cache
+// (internal/memo). It extends the Setup fingerprint with the engine
+// schema version — so results computed by a semantically different
+// engine can never be served — and the cell key, which pins the cell's
+// own parameters (scheme, leveler, SWR percent). Two cells with equal
+// CellFingerprints compute byte-identical results by the same argument
+// that makes checkpoint resume safe: every cell re-derives all of its
+// state from the Setup and key alone.
+func (s Setup) CellFingerprint(key string) string {
+	return fmt.Sprintf("cells/v%d/%s/%s", sim.EngineSchemaVersion, s.Fingerprint(), key)
+}
+
 // runBPACtx is runBPA with cooperative cancellation: the simulation polls
 // ctx and an interrupted run surfaces as ctx's error, so the runner
 // leaves the cell incomplete instead of recording a truncated lifetime.
@@ -62,8 +75,10 @@ func Fig7Cells(s Setup, swrPercents []int, wls []string) []runner.Cell[Fig7Row] 
 			if pct < 0 || pct > 100 {
 				panic(fmt.Sprintf("experiments: Fig7 SWR percent %d out of [0, 100]", pct))
 			}
+			key := fmt.Sprintf("fig7/%s/%d", wl, pct)
 			cells = append(cells, runner.Cell[Fig7Row]{
-				Key: fmt.Sprintf("fig7/%s/%d", wl, pct),
+				Key:         key,
+				Fingerprint: s.CellFingerprint(key),
 				Run: func(ctx context.Context) (Fig7Row, error) {
 					opts := spare.DefaultMaxWEOptions()
 					opts.SWRFraction = float64(pct) / 100
@@ -103,8 +118,10 @@ func Fig8Cells(s Setup) []runner.Cell[Fig8Row] {
 	var cells []runner.Cell[Fig8Row]
 	for _, wl := range WLNames() {
 		for _, scheme := range SchemeNames() {
+			key := fmt.Sprintf("fig8/%s/%s", wl, scheme)
 			cells = append(cells, runner.Cell[Fig8Row]{
-				Key: fmt.Sprintf("fig8/%s/%s", wl, scheme),
+				Key:         key,
+				Fingerprint: s.CellFingerprint(key),
 				Run: func(ctx context.Context) (Fig8Row, error) {
 					nl, err := s.runBPACtx(ctx, p, newScheme(scheme, p, s.Seed), wl)
 					if err != nil {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"maxwe/internal/memo"
 	"maxwe/internal/runner"
 	"maxwe/internal/stats"
 )
@@ -138,6 +139,99 @@ func TestFigSweepsParallelBitIdentical(t *testing.T) {
 		}
 		if !reflect.DeepEqual(refGmeans, gmeans) {
 			t.Fatalf("parallelism %d: Fig8 gmeans diverged from sequential", par)
+		}
+	}
+}
+
+// TestFigSweepsCacheBitIdentical is the memo-cache acceptance test: the
+// full Fig7+Fig8 sweep with the result cache enabled — cold (every cell
+// computes and populates) and warm (every cell is a memo hit) — produces
+// rows and results bit-identical to the cache-disabled run.
+func TestFigSweepsCacheBitIdentical(t *testing.T) {
+	s := QuickSetup()
+	pcts := []int{0, 90}
+	wls := []string{"tlsr", "bwl"}
+
+	refRows7, refRep7, err := Fig7Sweep(context.Background(), runner.Config{}, s, pcts, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows8, refGmeans, refRep8, err := Fig8Sweep(context.Background(), runner.Config{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := memo.Open(memo.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass, label := range []string{"cold", "warm"} {
+		cfg := runner.Config{Cache: cache}
+		rows7, rep7, err := Fig7Sweep(context.Background(), cfg, s, pcts, wls)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !reflect.DeepEqual(refRows7, rows7) || !reflect.DeepEqual(refRep7.Results, rep7.Results) {
+			t.Fatalf("%s cached Fig7 diverged from cache-off run", label)
+		}
+		rows8, gmeans, rep8, err := Fig8Sweep(context.Background(), cfg, s)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !reflect.DeepEqual(refRows8, rows8) || !reflect.DeepEqual(refRep8.Results, rep8.Results) ||
+			!reflect.DeepEqual(refGmeans, gmeans) {
+			t.Fatalf("%s cached Fig8 diverged from cache-off run", label)
+		}
+		st := cache.Stats()
+		total := int64(len(refRep7.Results) + len(refRep8.Results))
+		if pass == 0 && (st.Puts != total || st.Hits != 0) {
+			t.Fatalf("cold pass stats = %+v, want %d puts and 0 hits", st, total)
+		}
+		if pass == 1 && st.Hits != total {
+			t.Fatalf("warm pass stats = %+v, want %d hits", st, total)
+		}
+	}
+}
+
+// TestCellFingerprintGolden pins the exact per-cell fingerprint strings
+// of representative Fig7/Fig8 cells. These strings are the memo-cache
+// keys: if this test fails, the key derivation drifted and every cached
+// result in existence is either orphaned (harmless but wasteful) or —
+// far worse, if an old key now names a different computation — stale.
+// Such a change must be deliberate; bump sim.EngineSchemaVersion instead
+// of silently reshaping the key, then update these constants.
+func TestCellFingerprintGolden(t *testing.T) {
+	s := QuickSetup()
+	const setupFP = "setup/r128/l8/e300/p0/q50/psi32/seed20190602"
+	if got := s.Fingerprint(); got != setupFP {
+		t.Fatalf("Setup fingerprint = %q, want %q (cache keys and checkpoints orphaned?)", got, setupFP)
+	}
+	fig7 := Fig7Cells(s, []int{0, 90}, []string{"tlsr"})
+	fig8 := Fig8Cells(s)
+	golden := []struct {
+		name string
+		got  string
+		want string
+	}{
+		{"fig7 tlsr 0%", fig7[0].Fingerprint,
+			"cells/v1/" + setupFP + "/fig7/tlsr/0"},
+		{"fig7 tlsr 90%", fig7[1].Fingerprint,
+			"cells/v1/" + setupFP + "/fig7/tlsr/90"},
+		{"fig8 tlsr ps-worst", fig8[0].Fingerprint,
+			"cells/v1/" + setupFP + "/fig8/tlsr/ps-worst"},
+		{"fig8 tlsr max-we", fig8[2].Fingerprint,
+			"cells/v1/" + setupFP + "/fig8/tlsr/max-we"},
+	}
+	for _, tc := range golden {
+		if tc.got != tc.want {
+			t.Errorf("%s fingerprint = %q, want %q (cache-key-breaking change?)", tc.name, tc.got, tc.want)
+		}
+	}
+	// Every cell's fingerprint must match its key: the memo cache trusts
+	// this equality to serve fig7/tlsr/90 bytes only to fig7/tlsr/90.
+	for _, c := range fig7 {
+		if want := s.CellFingerprint(c.Key); c.Fingerprint != want {
+			t.Errorf("cell %s fingerprint = %q, want CellFingerprint %q", c.Key, c.Fingerprint, want)
 		}
 	}
 }

@@ -1,0 +1,334 @@
+package memo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"maxwe/internal/atomicio"
+)
+
+func mustOpen(t *testing.T, opts Options) *Cache {
+	t.Helper()
+	c, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFingerprintGolden(t *testing.T) {
+	type spec struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	got := Fingerprint("test/v1", spec{A: 7, B: "x"})
+	// sha256(`{"a":7,"b":"x"}`), pinned so the key derivation cannot
+	// silently drift and serve stale entries.
+	want := "test/v1/7ee9d42da7f0b0669b113d9af6cc6d40f896c8881c637cbf6248eaf91f9cea64"
+	if got != want {
+		t.Fatalf("Fingerprint = %s, want %s", got, want)
+	}
+	if got2 := Fingerprint("test/v2", spec{A: 7, B: "x"}); strings.HasSuffix(got2, got[len("test/v1/"):]) == false {
+		t.Fatalf("same value under another scope must keep the same hash, got %s", got2)
+	} else if got2 == got {
+		t.Fatal("different scopes must yield different fingerprints")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	c := mustOpen(t, Options{})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get("k")
+	if !ok || string(v) != `{"v":1}` {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.MemHits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskTierSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c1 := mustOpen(t, Options{Dir: dir})
+	if err := c1.Put("cells/v1/foo", []byte(`{"lifetime":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Cache over the same directory models a new process (or a
+	// second nvmd job): the hit must come from disk and be promoted.
+	c2 := mustOpen(t, Options{Dir: dir})
+	v, ok := c2.Get("cells/v1/foo")
+	if !ok || string(v) != `{"lifetime":42}` {
+		t.Fatalf("disk Get = %q, %v", v, ok)
+	}
+	if s := c2.Stats(); s.DiskHits != 1 || s.BytesRead == 0 {
+		t.Fatalf("stats after disk hit = %+v", s)
+	}
+	// Promoted: the second Get is a memory hit.
+	if _, ok := c2.Get("cells/v1/foo"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := c2.Stats(); s.MemHits != 1 {
+		t.Fatalf("stats after promotion = %+v", s)
+	}
+}
+
+func TestCorruptEntryQuarantinedNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir})
+	if err := c.Put("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path("k")
+	// Corrupt the entry on disk behind the cache's back (a torn write
+	// from a non-atomic writer, bit rot, truncation).
+	if err := os.WriteFile(path, []byte(`{"key":"k","val`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustOpen(t, Options{Dir: dir})
+	if _, ok := fresh.Get("k"); ok {
+		t.Fatal("corrupt entry was served")
+	}
+	if s := fresh.Stats(); s.Corrupt != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt entry still in place: %v", err)
+	}
+	// The slot is reusable: a recompute stores and serves normally.
+	if err := fresh.Put("k", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, Options{Dir: dir})
+	if v, ok := reopened.Get("k"); !ok || string(v) != `{"v":2}` {
+		t.Fatalf("recomputed entry = %q, %v", v, ok)
+	}
+}
+
+func TestEnvelopeKeyMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir})
+	if err := c.Put("other-key", []byte(`{"v":9}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Plant other-key's file where "victim" would live: a valid envelope
+	// for the wrong key (a shuffled or copied cache dir).
+	data, err := os.ReadFile(c.path("other-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path("victim"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustOpen(t, Options{Dir: dir})
+	if _, ok := fresh.Get("victim"); ok {
+		t.Fatal("entry with mismatched envelope key was served")
+	}
+	if s := fresh.Stats(); s.Corrupt != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictsToBoundDiskRemains(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir, MaxEntries: 2})
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", s.Entries)
+	}
+	// k0 was evicted from memory but must still hit via disk.
+	v, ok := c.Get("k0")
+	if !ok || string(v) != `{"v":0}` {
+		t.Fatalf("evicted entry from disk = %q, %v", v, ok)
+	}
+	if s := c.Stats(); s.DiskHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGetOrComputeSingleflightDedup(t *testing.T) {
+	c := mustOpen(t, Options{})
+	const callers = 16
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	vals := make([][]byte, callers)
+	hits := make([]bool, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], hits[i], errs[i] = c.GetOrCompute(context.Background(), "cell", func() ([]byte, error) {
+				computes.Add(1)
+				<-release // hold the flight open so every caller overlaps
+				return []byte(`{"v":1}`), nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	misses := 0
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(vals[i], []byte(`{"v":1}`)) {
+			t.Fatalf("caller %d value = %q", i, vals[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d callers computed (hit=false), want exactly the leader", misses)
+	}
+	s := c.Stats()
+	if s.Puts != 1 || s.Hits != callers-1 || s.DedupHits+s.MemHits != callers-1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGetOrComputeLeaderErrorNotCached(t *testing.T) {
+	c := mustOpen(t, Options{})
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure is not cached: the next caller computes and succeeds.
+	v, hit, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		return []byte(`{"v":2}`), nil
+	})
+	if err != nil || hit || string(v) != `{"v":2}` {
+		t.Fatalf("retry = %q, hit=%v, err=%v", v, hit, err)
+	}
+}
+
+func TestGetOrComputeWaiterSurvivesLeaderCancellation(t *testing.T) {
+	c := mustOpen(t, Options{})
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return nil, context.Canceled // the leader's own job died
+		})
+	}()
+	<-leaderIn // the waiter joins only after the leader holds the flight
+	waitDone := make(chan struct{})
+	var v []byte
+	var hit bool
+	var err error
+	go func() {
+		defer close(waitDone)
+		v, hit, err = c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			return []byte(`{"v":3}`), nil
+		})
+	}()
+	close(release)
+	wg.Wait()
+	<-waitDone
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader err = %v", leaderErr)
+	}
+	// The waiter retried, became leader under its own context, computed.
+	if err != nil || hit || string(v) != `{"v":3}` {
+		t.Fatalf("waiter = %q, hit=%v, err=%v", v, hit, err)
+	}
+}
+
+func TestGetOrComputeWaitBoundedByCtx(t *testing.T) {
+	c := mustOpen(t, Options{})
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _, _ = c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte(`{}`), nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrCompute(ctx, "k", func() ([]byte, error) {
+		t.Error("canceled waiter must not compute")
+		return nil, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// failFS refuses all writes: the disk behind the cache is full or gone.
+type failFS struct{ atomicio.FS }
+
+func (failFS) OpenFileWrite(string) (atomicio.File, error) {
+	return nil, errors.New("disk full")
+}
+
+func TestWriteFailureDegradesNotFails(t *testing.T) {
+	c := mustOpen(t, Options{Dir: t.TempDir(), FS: failFS{atomicio.OS}})
+	v, hit, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		return []byte(`{"v":4}`), nil
+	})
+	if err != nil || hit || string(v) != `{"v":4}` {
+		t.Fatalf("GetOrCompute = %q, hit=%v, err=%v", v, hit, err)
+	}
+	if s := c.Stats(); s.WriteErrors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The value is still served from memory despite the dead disk.
+	if v, ok := c.Get("k"); !ok || string(v) != `{"v":4}` {
+		t.Fatalf("memory fallback = %q, %v", v, ok)
+	}
+}
+
+func TestDiscardQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir})
+	if err := c.Put("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	c.Discard("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("discarded entry served")
+	}
+	if _, err := os.Stat(c.path("k") + ".corrupt"); err != nil {
+		t.Fatalf("discarded entry not quarantined: %v", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(names) != 0 {
+		t.Fatalf("live entries after discard: %v (err %v)", names, err)
+	}
+}

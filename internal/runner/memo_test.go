@@ -1,0 +1,226 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"maxwe/internal/memo"
+)
+
+// memoResult is a stand-in cell value with enough structure to catch a
+// lossy cache round trip.
+type memoResult struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// memoCells builds n fingerprinted cells that count their computations.
+func memoCells(n int, computes *atomic.Int64) []Cell[memoResult] {
+	cells := make([]Cell[memoResult], n)
+	for i := range cells {
+		key := string(rune('a' + i))
+		cells[i] = Cell[memoResult]{
+			Key:         key,
+			Fingerprint: "test/v1/" + key,
+			Run: func(ctx context.Context) (memoResult, error) {
+				computes.Add(1)
+				return memoResult{Key: key, Value: float64(i) * 1.5}, nil
+			},
+		}
+	}
+	return cells
+}
+
+func newMemoCache(t *testing.T, dir string) *memo.Cache {
+	t.Helper()
+	c, err := memo.Open(memo.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunMemoWarmRunServesEveryCell(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		var computes atomic.Int64
+		cache := newMemoCache(t, t.TempDir())
+		cfg := Config{Parallelism: parallelism, Cache: cache}
+
+		cold, err := Run(context.Background(), cfg, memoCells(6, &computes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := computes.Load(); n != 6 {
+			t.Fatalf("parallelism %d: cold run computed %d cells, want 6", parallelism, n)
+		}
+
+		var events []Status
+		cfg.Progress = func(ev Event) { events = append(events, ev.Status) }
+		warm, err := Run(context.Background(), cfg, memoCells(6, &computes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := computes.Load(); n != 6 {
+			t.Fatalf("parallelism %d: warm run recomputed (%d total computes)", parallelism, n)
+		}
+		if !reflect.DeepEqual(cold.Results, warm.Results) {
+			t.Fatalf("parallelism %d: warm results differ:\ncold %+v\nwarm %+v",
+				parallelism, cold.Results, warm.Results)
+		}
+		memos := 0
+		for _, s := range events {
+			switch s {
+			case StatusMemo:
+				memos++
+			case StatusStart, StatusDone:
+				t.Fatalf("parallelism %d: warm run emitted %v", parallelism, s)
+			}
+		}
+		if memos != 6 {
+			t.Fatalf("parallelism %d: %d StatusMemo events, want 6", parallelism, memos)
+		}
+	}
+}
+
+func TestRunMemoResultsIdenticalToCacheOff(t *testing.T) {
+	var computes atomic.Int64
+	baseline, err := Run(context.Background(), Config{Parallelism: 1}, memoCells(5, &computes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cold, err := Run(context.Background(), Config{Parallelism: 1, Cache: newMemoCache(t, dir)},
+		memoCells(5, &computes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same dir: every hit decodes from disk.
+	warm, err := Run(context.Background(), Config{Parallelism: 1, Cache: newMemoCache(t, dir)},
+		memoCells(5, &computes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline.Results, cold.Results) {
+		t.Fatalf("cold cached results differ from cache-off:\n%+v\n%+v", baseline.Results, cold.Results)
+	}
+	if !reflect.DeepEqual(baseline.Results, warm.Results) {
+		t.Fatalf("disk-served results differ from cache-off:\n%+v\n%+v", baseline.Results, warm.Results)
+	}
+}
+
+func TestRunMemoCheckpointBytesIdentical(t *testing.T) {
+	var computes atomic.Int64
+	run := func(dir string, cache *memo.Cache) []byte {
+		t.Helper()
+		path := filepath.Join(dir, "sweep.ckpt")
+		cfg := Config{Parallelism: 1, CheckpointPath: path, Fingerprint: "sweep", Cache: cache}
+		if _, err := Run(context.Background(), cfg, memoCells(4, &computes)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	plain := run(t.TempDir(), nil)
+
+	cache := newMemoCache(t, t.TempDir())
+	cold := run(t.TempDir(), cache)
+	warm := run(t.TempDir(), cache) // every cell is a memo hit
+	if string(plain) != string(cold) {
+		t.Fatalf("cold cached checkpoint differs from cache-off:\n%s\n%s", plain, cold)
+	}
+	if string(plain) != string(warm) {
+		t.Fatalf("memo-hit checkpoint differs from cache-off:\n%s\n%s", plain, warm)
+	}
+}
+
+func TestRunMemoConcurrentSweepsComputeOnce(t *testing.T) {
+	cache := newMemoCache(t, t.TempDir())
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	cell := func(key string, first bool) []Cell[memoResult] {
+		return []Cell[memoResult]{{
+			Key:         key,
+			Fingerprint: "shared/v1/cell",
+			Run: func(ctx context.Context) (memoResult, error) {
+				computes.Add(1)
+				if first {
+					close(started)
+					<-release
+				}
+				return memoResult{Key: "shared", Value: 7}, nil
+			},
+		}}
+	}
+	var wg sync.WaitGroup
+	var rep1, rep2 Report[memoResult]
+	var err1, err2 error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep1, err1 = Run(context.Background(), Config{Parallelism: 1, Cache: cache}, cell("first", true))
+	}()
+	<-started
+	// The first sweep is mid-compute and holds the singleflight slot; the
+	// second sweep either joins that flight (dedup hit) or, if it arrives
+	// after the release below, hits the populated cache. Both ways the
+	// cell computes exactly once across both sweeps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep2, err2 = Run(context.Background(), Config{Parallelism: 1, Cache: cache}, cell("second", false))
+	}()
+	close(release)
+	wg.Wait()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times across concurrent sweeps, want 1", n)
+	}
+	if got := rep2.Results["second"]; !reflect.DeepEqual(got, rep1.Results["first"]) {
+		t.Fatalf("shared cell values differ: %+v vs %+v", rep1.Results["first"], got)
+	}
+}
+
+func TestRunMemoUndecodableEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	cache := newMemoCache(t, dir)
+	// Poison the fingerprint with valid JSON that does not decode as
+	// memoResult — a foreign sweep's value behind a colliding key.
+	if err := cache.Put("test/v1/a", []byte(`[1,2,3]`)); err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	rep, err := Run(context.Background(), Config{Parallelism: 1, Cache: cache}, memoCells(1, &computes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1 (recompute after discard)", n)
+	}
+	if got := rep.Results["a"]; got != (memoResult{Key: "a", Value: 0}) {
+		t.Fatalf("recomputed value = %+v", got)
+	}
+	// The poisoned entry was quarantined and the slot healed: a fresh
+	// cache over the dir serves the recomputed value.
+	fresh := newMemoCache(t, dir)
+	rep2, err := Run(context.Background(), Config{Parallelism: 1, Cache: fresh}, memoCells(1, &computes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("healed entry not served: %d computes", n)
+	}
+	if !reflect.DeepEqual(rep.Results, rep2.Results) {
+		t.Fatalf("healed results differ: %+v vs %+v", rep.Results, rep2.Results)
+	}
+}

@@ -32,8 +32,9 @@ import (
 
 // outcome carries one computed cell from a worker to the collector.
 type outcome[T any] struct {
-	v   T
-	err error
+	v       T
+	err     error
+	memoHit bool
 }
 
 // runParallel executes the non-checkpointed cells on a bounded worker
@@ -81,8 +82,8 @@ func runParallel[T any](ctx context.Context, cfg Config, cells []Cell[T], ckpt c
 		go func() { //lint:allow nondeterminism "worker goroutine of the sanctioned pool; outcome commitment stays in sweep order"
 			defer wg.Done()
 			for i := range work { //lint:allow ctxprop "bounded: the feeder closes work when runCtx is canceled, ending this range"
-				v, err := runWithRetry(runCtx, cfg, cells[i], i, len(cells), emit)
-				outcomes[i] <- outcome[T]{v: v, err: err} //lint:allow ctxprop "never blocks: outcomes[i] has capacity 1 and exactly one send"
+				v, memoHit, err := runCell(runCtx, cfg, cells[i], i, len(cells), emit)
+				outcomes[i] <- outcome[T]{v: v, err: err, memoHit: memoHit} //lint:allow ctxprop "never blocks: outcomes[i] has capacity 1 and exactly one send"
 			}
 		}()
 	}
@@ -143,7 +144,7 @@ func runParallel[T any](ctx context.Context, cfg Config, cells []Cell[T], ckpt c
 			continue
 		}
 		rep.Results[c.Key] = out.v
-		emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: StatusDone})
+		emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: doneStatus(out.memoHit)})
 		if err := saveCheckpoint(cfg, ckpt, c.Key, out.v); err != nil {
 			return err
 		}

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"maxwe/internal/atomicio"
+	"maxwe/internal/memo"
 )
 
 // Cell is one unit of sweep work. Key must be unique within the sweep and
@@ -56,6 +57,12 @@ import (
 type Cell[T any] struct {
 	// Key identifies the cell (e.g. "fig8/start-gap/maxwe").
 	Key string
+	// Fingerprint, when non-empty, content-addresses the cell's result
+	// for Config.Cache: any two cells with equal fingerprints — in this
+	// sweep, another sweep, or another process sharing the cache
+	// directory — must compute byte-identical values. Empty opts the
+	// cell out of caching. Ignored when Config.Cache is nil.
+	Fingerprint string
 	// Run computes the cell's result. It must honor ctx cancellation for
 	// the per-cell deadline and sweep interruption to work.
 	Run func(ctx context.Context) (T, error)
@@ -92,6 +99,14 @@ type Config struct {
 	// selects the real filesystem (atomicio.OS); the chaos harness passes
 	// a fault-injecting implementation.
 	FS atomicio.FS
+	// Cache, when non-nil, memoizes cell results by Cell.Fingerprint: a
+	// hit (StatusMemo) skips the computation entirely, and concurrently
+	// identical cells — across workers and across sweeps sharing the
+	// cache — compute once via singleflight. Hits commit in sweep order
+	// exactly like computed cells, and both results and checkpoint bytes
+	// are identical to a cache-off run (the bit-exactness the checkpoint
+	// machinery already guarantees is what makes hits safe to serve).
+	Cache *memo.Cache
 }
 
 // fs resolves the configured filesystem, defaulting to the real one.
@@ -126,6 +141,10 @@ const (
 	StatusFailed
 	// StatusCached fires when a cell is satisfied from the checkpoint.
 	StatusCached
+	// StatusMemo fires when a cell is satisfied from the memo cache
+	// (Config.Cache) — a content-addressed hit or a singleflight share
+	// of a concurrent identical computation.
+	StatusMemo
 )
 
 // String names the status for logs.
@@ -141,6 +160,8 @@ func (s Status) String() string {
 		return "failed"
 	case StatusCached:
 		return "cached"
+	case StatusMemo:
+		return "memo"
 	}
 	return fmt.Sprintf("status(%d)", int(s))
 }
@@ -154,7 +175,8 @@ type Event struct {
 	Index, Total int
 	// Status is the state the cell moved to.
 	Status Status
-	// Attempt is the 1-based attempt number (0 for StatusCached).
+	// Attempt is the 1-based attempt number (0 for StatusCached and
+	// StatusMemo).
 	Attempt int
 	// Err carries the failure message for StatusRetry and StatusFailed.
 	Err string
@@ -251,7 +273,7 @@ func Run[T any](ctx context.Context, cfg Config, cells []Cell[T]) (Report[T], er
 			break
 		}
 
-		v, cellErr := runWithRetry(ctx, cfg, c, i, len(cells), cfg.emit)
+		v, memoHit, cellErr := runCell(ctx, cfg, c, i, len(cells), cfg.emit)
 		if cellErr != nil {
 			if ctx.Err() != nil {
 				// The failure reflects cancellation, not the cell: leave
@@ -265,7 +287,7 @@ func Run[T any](ctx context.Context, cfg Config, cells []Cell[T]) (Report[T], er
 			continue
 		}
 		rep.Results[c.Key] = v
-		cfg.emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: StatusDone})
+		cfg.emit(Event{Key: c.Key, Index: i, Total: len(cells), Status: doneStatus(memoHit)})
 		if err := saveCheckpoint(cfg, ckpt, c.Key, v); err != nil {
 			return rep, err
 		}
@@ -273,10 +295,73 @@ func Run[T any](ctx context.Context, cfg Config, cells []Cell[T]) (Report[T], er
 	return rep, nil
 }
 
+// doneStatus picks the completion event for a successful cell: memo hits
+// report StatusMemo, computed cells StatusDone.
+func doneStatus(memoHit bool) Status {
+	if memoHit {
+		return StatusMemo
+	}
+	return StatusDone
+}
+
 func (c Config) emit(ev Event) {
 	if c.Progress != nil {
 		c.Progress(ev)
 	}
+}
+
+// runCell executes one cell through the memo cache when one is
+// configured, falling back to the plain retry loop otherwise. memoHit
+// reports that the value was served without computing (cache hit or
+// singleflight share). The computed path returns the exact value
+// c.Run produced — never a marshal/unmarshal round trip of it — so with
+// no hits the sweep is byte-for-byte the cache-off sweep; the hit path
+// decodes the cached canonical JSON, whose round-trip exactness is the
+// same property checkpoint resume already relies on.
+func runCell[T any](ctx context.Context, cfg Config, c Cell[T], idx, total int, emit func(Event)) (T, bool, error) {
+	if cfg.Cache == nil || c.Fingerprint == "" {
+		v, err := runWithRetry(ctx, cfg, c, idx, total, emit)
+		return v, false, err
+	}
+	var computed T
+	didCompute := false
+	raw, _, err := cfg.Cache.GetOrCompute(ctx, c.Fingerprint, func() ([]byte, error) {
+		v, err := runWithRetry(ctx, cfg, c, idx, total, emit)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("runner: marshal cell %q for memo: %w", c.Key, err)
+		}
+		computed, didCompute = v, true
+		return buf, nil
+	})
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	if didCompute {
+		return computed, false, nil
+	}
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		// The entry does not decode as this sweep's result type: the
+		// fingerprint addressed a value of a different shape. Poison it
+		// (quarantine on disk, drop from memory) and compute normally —
+		// a corrupt entry is recomputed, never served.
+		cfg.Cache.Discard(c.Fingerprint)
+		v2, err2 := runWithRetry(ctx, cfg, c, idx, total, emit)
+		if err2 != nil {
+			return v2, false, err2
+		}
+		if buf, merr := json.Marshal(v2); merr == nil {
+			// Heal the slot best-effort so later runs hit again.
+			_ = cfg.Cache.Put(c.Fingerprint, buf)
+		}
+		return v2, false, nil
+	}
+	return v, true, nil
 }
 
 // runWithRetry drives one cell through its attempts, reporting state

@@ -1,0 +1,162 @@
+// Cache integration tests: the cluster-wide memo cache shared across
+// jobs, its /v1/cache/stats endpoint, and the byte-identity of cached
+// results against a cache-off daemon.
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maxwe/internal/service"
+	"maxwe/internal/service/client"
+)
+
+// newCachedManager builds a started manager whose result cache lives
+// under the data dir, the way cmd/nvmd -cache wires it.
+func newCachedManager(t *testing.T, dir string) *service.Manager {
+	t.Helper()
+	m, err := service.NewManager(service.Config{
+		DataDir:  dir,
+		CacheDir: filepath.Join(dir, "cache"),
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+// resultSansID parses a result document and strips the job ID — the only
+// field that legitimately differs between two jobs running the same spec.
+func resultSansID(t *testing.T, raw []byte) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parse result: %v", err)
+	}
+	delete(doc, "id")
+	return doc
+}
+
+func TestCacheSharedAcrossJobsAndRestarts(t *testing.T) {
+	// Baseline: the same spec on a cache-off daemon.
+	off := newManager(t, t.TempDir(), 1)
+	off.Start()
+	stOff, err := off.Submit(tinyFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, off, stOff.ID)
+	baseline, err := off.Result(stOff.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.Close()
+
+	dir := t.TempDir()
+	m := newCachedManager(t, dir)
+	m.Start()
+
+	st1, err := m.Submit(tinyFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st1.ID)
+	res1, err := m.Result(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold cached run: byte-identical to the cache-off daemon (same job
+	// ID on both fresh stores).
+	if string(baseline) != string(res1) {
+		t.Fatalf("cold cached result differs from cache-off:\n%s\n%s", baseline, res1)
+	}
+	cs := m.CacheStats()
+	if !cs.Enabled || cs.Stats.Puts != 2 || cs.Stats.Hits != 0 {
+		t.Fatalf("stats after cold job = %+v", cs)
+	}
+
+	// Second identical job on the same daemon: every cell is a memo hit.
+	st2, err := m.Submit(tinyFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st2.ID)
+	res2, err := m.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultSansID(t, res1), resultSansID(t, res2)) {
+		t.Fatalf("memo-served result differs:\n%s\n%s", res1, res2)
+	}
+	cs = m.CacheStats()
+	if cs.Stats.Hits != 2 || cs.Stats.Puts != 2 {
+		t.Fatalf("stats after warm job = %+v", cs)
+	}
+	metrics, err := m.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nvmd_cells_memo_hits_total 2\n", "nvmd_cache_hits_total 2\n", "nvmd_cache_puts_total 2\n"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	m.Close()
+
+	// A restarted daemon over the same directories serves the third job
+	// from the disk tier: zero new computations.
+	m2 := newCachedManager(t, dir)
+	m2.Start()
+	defer m2.Close()
+	st3, err := m2.Submit(tinyFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m2, st3.ID)
+	res3, err := m2.Result(st3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultSansID(t, res1), resultSansID(t, res3)) {
+		t.Fatalf("disk-served result differs:\n%s\n%s", res1, res3)
+	}
+	cs = m2.CacheStats()
+	if cs.Stats.DiskHits != 2 || cs.Stats.Puts != 0 {
+		t.Fatalf("stats after restart job = %+v", cs)
+	}
+}
+
+func TestCacheStatsEndpoint(t *testing.T) {
+	m := newCachedManager(t, t.TempDir())
+	m.Start()
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	c := client.New(srv.URL)
+
+	cs, err := c.CacheStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Enabled || cs.Dir == "" {
+		t.Fatalf("CacheStats = %+v, want enabled with dir", cs)
+	}
+
+	off := newManager(t, t.TempDir(), 1)
+	off.Start()
+	defer off.Close()
+	srvOff := httptest.NewServer(service.NewHandler(off))
+	defer srvOff.Close()
+	csOff, err := client.New(srvOff.URL).CacheStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csOff.Enabled {
+		t.Fatalf("cache-off daemon reports enabled: %+v", csOff)
+	}
+}

@@ -334,6 +334,13 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, erro
 	return st, err
 }
 
+// CacheStats fetches the cluster-wide result-cache counters.
+func (c *Client) CacheStats(ctx context.Context) (service.CacheStatus, error) {
+	var cs service.CacheStatus
+	err := c.do(ctx, http.MethodGet, "/v1/cache/stats", nil, &cs, nil)
+	return cs, err
+}
+
 // Metrics fetches the /metrics exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	var raw []byte

@@ -170,6 +170,11 @@ func (j *job) onRunnerEvent(m *Metrics) func(runner.Event) {
 		case runner.StatusCached:
 			j.cellsDone++
 			j.resumed++
+		case runner.StatusMemo:
+			// A memo hit completes the cell exactly like a computation —
+			// the result and checkpoint bytes are identical — it was just
+			// served from the content-addressed cache.
+			j.cellsDone++
 		case runner.StatusFailed:
 			j.cellsFailed++
 		}

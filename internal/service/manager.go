@@ -38,6 +38,7 @@ import (
 	"maxwe"
 	"maxwe/internal/atomicio"
 	"maxwe/internal/experiments"
+	"maxwe/internal/memo"
 	"maxwe/internal/runner"
 )
 
@@ -55,6 +56,16 @@ type Config struct {
 	// Nil selects the real filesystem (atomicio.OS); the chaos harness
 	// passes a fault-injecting implementation.
 	FS atomicio.FS
+	// CacheDir, when non-empty, enables the cluster-wide content-addressed
+	// result cache rooted there (internal/memo), shared by every job this
+	// daemon runs: identical cells across jobs — repeated figure grids,
+	// overlapping seed sweeps, resubmitted specs — are computed once and
+	// served as memo hits everywhere else. cmd/nvmd defaults it to
+	// <DataDir>/cache when -cache is set. Empty disables caching.
+	CacheDir string
+	// CacheEntries bounds the cache's in-process LRU (0 selects the memo
+	// package default). Ignored when CacheDir is empty.
+	CacheEntries int
 }
 
 // Sentinel errors surfaced to the HTTP layer.
@@ -80,6 +91,10 @@ type Manager struct {
 	cfg     Config
 	fs      atomicio.FS
 	metrics *Metrics
+	// cache is the cluster-wide memo cache (nil when Config.CacheDir is
+	// empty). It is handed to every job's runner config, so singleflight
+	// dedup spans concurrently running jobs.
+	cache *memo.Cache
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -139,10 +154,19 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.FS == nil {
 		cfg.FS = atomicio.OS
 	}
+	var cache *memo.Cache
+	if cfg.CacheDir != "" {
+		var err error
+		cache, err = memo.Open(memo.Options{Dir: cfg.CacheDir, MaxEntries: cfg.CacheEntries, FS: cfg.FS})
+		if err != nil {
+			return nil, fmt.Errorf("service: open result cache: %w", err)
+		}
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
 		fs:      cfg.FS,
+		cache:   cache,
 		metrics: NewMetrics(),
 		baseCtx: ctx,
 		stop:    stop,
@@ -503,11 +527,33 @@ func (m *Manager) MetricsSnapshot() (string, error) {
 			running++
 		}
 	}
+	var cache *memo.Stats
+	if m.cache != nil {
+		s := m.cache.Stats()
+		cache = &s
+	}
 	var b strings.Builder
-	if err := m.metrics.write(&b, queued, running); err != nil {
+	if err := m.metrics.write(&b, queued, running, cache); err != nil {
 		return "", err
 	}
 	return b.String(), nil
+}
+
+// CacheStatus is the GET /v1/cache/stats document: whether the
+// cluster-wide result cache is enabled, where it lives, and its live
+// counters (zero when disabled).
+type CacheStatus struct {
+	Enabled bool       `json:"enabled"`
+	Dir     string     `json:"dir,omitempty"`
+	Stats   memo.Stats `json:"stats"`
+}
+
+// CacheStats snapshots the cluster-wide result cache.
+func (m *Manager) CacheStats() CacheStatus {
+	if m.cache == nil {
+		return CacheStatus{}
+	}
+	return CacheStatus{Enabled: true, Dir: m.cfg.CacheDir, Stats: m.cache.Stats()}
 }
 
 // finishJob persists and applies a terminal transition. result is nil
@@ -619,6 +665,7 @@ func (m *Manager) sweep(ctx context.Context, j *job) (JobResult, bool, error) {
 		Fingerprint:    j.fingerprint,
 		Progress:       j.onRunnerEvent(m.metrics),
 		FS:             m.fs,
+		Cache:          m.cache,
 	}
 	switch j.spec.Kind {
 	case KindFig7:
@@ -672,7 +719,8 @@ func sweepCells(specs []CellSpec) []runner.Cell[maxwe.Result] {
 	for i, cs := range specs {
 		cfg := cs.Config
 		cells[i] = runner.Cell[maxwe.Result]{
-			Key: cs.Key,
+			Key:         cs.Key,
+			Fingerprint: cfg.Fingerprint(),
 			Run: func(ctx context.Context) (maxwe.Result, error) {
 				sys, err := maxwe.New(cfg)
 				if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"maxwe/internal/faultinject"
+	"maxwe/internal/memo"
 	"maxwe/internal/runner"
 )
 
@@ -29,6 +30,7 @@ type Metrics struct {
 
 	cellsCompleted int64
 	cellsResumed   int64
+	cellsMemoHits  int64
 	cellsFailed    int64
 	cellRetries    int64
 
@@ -51,6 +53,9 @@ func (m *Metrics) onCellEvent(ev runner.Event) {
 	case runner.StatusCached:
 		m.cellsCompleted++
 		m.cellsResumed++
+	case runner.StatusMemo:
+		m.cellsCompleted++
+		m.cellsMemoHits++
 	case runner.StatusFailed:
 		m.cellsFailed++
 	case runner.StatusRetry:
@@ -94,8 +99,9 @@ func (m *Metrics) addFaults(c faultinject.Counters) {
 }
 
 // write renders the counters plus the caller-supplied queue gauges in
-// exposition order.
-func (m *Metrics) write(w io.Writer, queued, running int) error {
+// exposition order. cache, when non-nil, appends the memo-cache counter
+// block (the manager passes a snapshot when the cluster cache is on).
+func (m *Metrics) write(w io.Writer, queued, running int, cache *memo.Stats) error {
 	m.mu.Lock()
 	uptime := time.Since(m.start).Seconds() //lint:allow nondeterminism "uptime gauge for the text exposition; not part of any result document"
 	cellsPerSec := 0.0
@@ -114,6 +120,7 @@ func (m *Metrics) write(w io.Writer, queued, running int) error {
 		{"nvmd_jobs_canceled_total", fmt.Sprint(m.jobsCanceled)},
 		{"nvmd_cells_completed_total", fmt.Sprint(m.cellsCompleted)},
 		{"nvmd_cells_resumed_total", fmt.Sprint(m.cellsResumed)},
+		{"nvmd_cells_memo_hits_total", fmt.Sprint(m.cellsMemoHits)},
 		{"nvmd_cells_failed_total", fmt.Sprint(m.cellsFailed)},
 		{"nvmd_cell_retries_total", fmt.Sprint(m.cellRetries)},
 		{"nvmd_cells_per_second", fmt.Sprintf("%.6g", cellsPerSec)},
@@ -127,6 +134,24 @@ func (m *Metrics) write(w io.Writer, queued, running int) error {
 		{"nvmd_uptime_seconds", fmt.Sprintf("%.3f", uptime)},
 	}
 	m.mu.Unlock()
+	if cache != nil {
+		lines = append(lines, []struct {
+			name  string
+			value string
+		}{
+			{"nvmd_cache_hits_total", fmt.Sprint(cache.Hits)},
+			{"nvmd_cache_mem_hits_total", fmt.Sprint(cache.MemHits)},
+			{"nvmd_cache_disk_hits_total", fmt.Sprint(cache.DiskHits)},
+			{"nvmd_cache_dedup_hits_total", fmt.Sprint(cache.DedupHits)},
+			{"nvmd_cache_misses_total", fmt.Sprint(cache.Misses)},
+			{"nvmd_cache_puts_total", fmt.Sprint(cache.Puts)},
+			{"nvmd_cache_corrupt_total", fmt.Sprint(cache.Corrupt)},
+			{"nvmd_cache_write_errors_total", fmt.Sprint(cache.WriteErrors)},
+			{"nvmd_cache_bytes_read_total", fmt.Sprint(cache.BytesRead)},
+			{"nvmd_cache_bytes_written_total", fmt.Sprint(cache.BytesWritten)},
+			{"nvmd_cache_entries", fmt.Sprint(cache.Entries)},
+		}...)
+	}
 
 	var b strings.Builder
 	for _, l := range lines {

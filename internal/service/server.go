@@ -7,6 +7,7 @@
 //	GET    /v1/jobs/{id}/events  NDJSON progress stream, history then live
 //	GET    /v1/jobs/{id}/result  final result document (exact stored bytes)
 //	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/cache/stats       cluster-wide result-cache counters
 //	GET    /metrics              counter exposition (text)
 //	GET    /healthz              liveness probe
 //
@@ -91,6 +92,9 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/cache/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.CacheStats())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		text, err := m.MetricsSnapshot()

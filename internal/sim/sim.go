@@ -28,6 +28,16 @@ import (
 	"maxwe/internal/wearlevel"
 )
 
+// EngineSchemaVersion versions the observable semantics of the
+// simulation engine — the mapping from a configuration to its bit-exact
+// result. It is baked into every content-addressed cache key
+// (internal/memo), so bump it whenever a change alters any computed
+// result (engine algorithms, scheme or leveler behavior, RNG streams,
+// result fields): stale entries then miss instead of being served.
+// Pure refactors that keep results bit-identical — the norm in this
+// repository, enforced by the cross-validation tests — do not bump it.
+const EngineSchemaVersion = 1
+
 // Config assembles one simulation run. Profile, Scheme and Attack are
 // mandatory. Leveler is optional: nil means no wear leveling, with the
 // attack addressing the scheme's (possibly shrinking) user space directly —

@@ -40,6 +40,7 @@ import (
 	"maxwe/internal/endurance"
 	"maxwe/internal/faultinject"
 	"maxwe/internal/mapping"
+	"maxwe/internal/memo"
 	"maxwe/internal/sim"
 	"maxwe/internal/spare"
 	"maxwe/internal/wearlevel"
@@ -173,6 +174,16 @@ func DefaultConfig() Config {
 		Attack:         "uaa",
 		AttackCoverage: 0.95,
 	}
+}
+
+// Fingerprint is the content-address of the Result this Config computes:
+// the canonical Config JSON (wire names pinned by the jsonschema lint
+// rule) hashed under a scope carrying sim.EngineSchemaVersion. Equal
+// fingerprints imply byte-identical Results — RunLifetime is
+// deterministic in Config alone — which is what lets the memo cache
+// serve a hit in place of the computation, across processes and jobs.
+func (c Config) Fingerprint() string {
+	return memo.Fingerprint(fmt.Sprintf("maxwe-config/v%d", sim.EngineSchemaVersion), c)
 }
 
 // System is a fully assembled device + scheme + leveler + attack stack,

@@ -280,3 +280,22 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		t.Fatalf("runs diverged: %+v vs %+v", a, b)
 	}
 }
+
+// TestConfigFingerprintGolden pins the exact fingerprint of the paper's
+// default configuration. This string keys nvmsim's memoized seed-sweep
+// cells: if it fails, the Config wire format (json tags, field set) or
+// the engine schema version changed, and every cached result is either
+// orphaned or — if an old key now names a different computation — stale.
+// Bump sim.EngineSchemaVersion for behavior changes, then update this
+// constant.
+func TestConfigFingerprintGolden(t *testing.T) {
+	const want = "maxwe-config/v1/158393a7a7943c03640201ba7fb37f89f20fc1745298bd2160b65798a3bd0a57"
+	if got := DefaultConfig().Fingerprint(); got != want {
+		t.Fatalf("DefaultConfig fingerprint = %q, want %q (cache-key-breaking change?)", got, want)
+	}
+	tuned := DefaultConfig()
+	tuned.Seed++
+	if tuned.Fingerprint() == want {
+		t.Fatal("different seeds share a fingerprint; the cache would serve seed 1's result for seed 2")
+	}
+}

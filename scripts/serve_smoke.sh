@@ -1,9 +1,10 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke test of the nvmd daemon.
 #
-# Boots nvmd on a random port with a throwaway data directory, submits a
-# tiny Figure 7 grid through the CLI (spec on stdin), waits for the job to
-# complete, checks the metrics endpoint counted it, then SIGTERMs the
+# Boots nvmd on a random port with a throwaway data directory and the
+# result cache enabled, submits the same tiny Figure 7 grid twice through
+# the CLI, waits for both jobs to complete, checks the metrics endpoint
+# counted them (the second job entirely as memo hits), then SIGTERMs the
 # daemon and asserts it drains with exit status 0.
 set -eu
 
@@ -23,7 +24,7 @@ echo "serve-smoke: building nvmd"
 $GO build -o "$tmp/nvmd" ./cmd/nvmd
 
 echo "serve-smoke: starting daemon"
-"$tmp/nvmd" serve -addr 127.0.0.1:0 -data "$tmp/data" \
+"$tmp/nvmd" serve -addr 127.0.0.1:0 -data "$tmp/data" -cache \
     -port-file "$tmp/port" 2>"$tmp/serve.log" &
 nvmd_pid=$!
 
@@ -59,10 +60,20 @@ EOF
 "$tmp/nvmd" submit -addr "$addr" -spec "$tmp/spec.json" -wait >"$tmp/final.json"
 grep -q '"state": "done"' "$tmp/final.json"
 
+echo "serve-smoke: resubmitting the same grid (memo-cache warm path)"
+"$tmp/nvmd" submit -addr "$addr" -spec "$tmp/spec.json" -wait >"$tmp/final2.json"
+grep -q '"state": "done"' "$tmp/final2.json"
+
 echo "serve-smoke: checking metrics"
 "$tmp/nvmd" metrics -addr "$addr" >"$tmp/metrics.txt"
-grep -q '^nvmd_jobs_done_total 1$' "$tmp/metrics.txt"
-grep -q '^nvmd_cells_completed_total 2$' "$tmp/metrics.txt"
+grep -q '^nvmd_jobs_done_total 2$' "$tmp/metrics.txt"
+grep -q '^nvmd_cells_completed_total 4$' "$tmp/metrics.txt"
+grep -q '^nvmd_cells_memo_hits_total 2$' "$tmp/metrics.txt"
+grep -q '^nvmd_cache_hits_total 2$' "$tmp/metrics.txt"
+
+echo "serve-smoke: checking cache stats endpoint"
+"$tmp/nvmd" cache -addr "$addr" >"$tmp/cache.json"
+grep -q '"enabled": true' "$tmp/cache.json"
 
 echo "serve-smoke: draining daemon (SIGTERM)"
 kill -TERM "$nvmd_pid"
