@@ -3,12 +3,12 @@ GO ?= go
 # BENCH_OUT names the JSON file `make bench` writes and `make
 # bench-compare` treats as "current"; override it to regenerate an older
 # snapshot (make bench BENCH_OUT=BENCH_PR8.json) or to compare one.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
 # BENCH_BASE is the committed snapshot bench-compare diffs against.
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR9.json
 
-.PHONY: build test race race-concurrent vet lint lint-json lint-schema verify faults bench bench-compare bench-smoke serve-smoke chaos chaos-smoke
+.PHONY: build test race race-concurrent vet lint lint-json lint-schema verify faults bench bench-compare bench-smoke serve-smoke cluster-smoke chaos chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race:
 # //lint:allow nondeterminism waiver lives there), so a waivered data
 # race cannot ride in under a green lint.
 race-concurrent:
-	$(GO) test -race ./internal/memo/... ./internal/runner/... ./internal/service/...
+	$(GO) test -race ./internal/cluster/... ./internal/memo/... ./internal/runner/... ./internal/service/...
 
 vet:
 	$(GO) vet ./...
@@ -63,7 +63,7 @@ faults:
 # the same log so one conversion sees both. Separate steps so a bench
 # failure stops make instead of vanishing into a pipe.
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(Fig|Table|Runner|UAAFast|Service)' -benchmem \
+	$(GO) test -run '^$$' -bench '^Benchmark(Fig|Table|Runner|UAAFast|Service|Federated)' -benchmem \
 		. ./internal/sim/ ./internal/service/ > bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkRunnerScaling$$' -benchmem -cpu 2,4 . >> bench.out
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
@@ -103,5 +103,11 @@ chaos-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# cluster-smoke boots a coordinator plus two workers on random ports,
+# runs a federated sweep with one worker SIGKILLed mid-sweep, and asserts
+# the merged result is byte-identical to a single-node run.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 # verify is the tier-1 gate: everything CI runs, one command.
-verify: build vet test race race-concurrent lint faults bench-smoke chaos-smoke serve-smoke
+verify: build vet test race race-concurrent lint faults bench-smoke chaos-smoke serve-smoke cluster-smoke

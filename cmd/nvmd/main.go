@@ -1,21 +1,37 @@
 // Command nvmd is the long-running experiment daemon plus its client CLI.
 //
-//	nvmd serve   -data DIR [-addr HOST:PORT] [-job-workers N] [-queue N] [-port-file PATH] [-cache] [-cache-dir DIR]
-//	nvmd submit  -spec FILE|- [client flags] [-wait]
-//	nvmd status  -id JOB [client flags] [-partial]
-//	nvmd wait    -id JOB [client flags]
-//	nvmd cancel  -id JOB [client flags]
-//	nvmd result  -id JOB [client flags]
-//	nvmd metrics [client flags]
-//	nvmd cache   [client flags]
+//	nvmd serve       -data DIR [-addr HOST:PORT] [-job-workers N] [-queue N] [-port-file PATH] [-cache] [-cache-dir DIR] [-cache-peer URL]
+//	nvmd coordinator (serve flags) [-lease-timeout D] [-worker-ttl D] [-lease-wait D]
+//	nvmd worker      -coordinator URL [-slots N] [-cache-dir DIR] [-name LABEL]
+//	nvmd submit      -spec FILE|- [client flags] [-wait] [-federated]
+//	nvmd status      -id JOB [client flags] [-partial]
+//	nvmd wait        -id JOB [client flags]
+//	nvmd cancel      -id JOB [client flags]
+//	nvmd result      -id JOB [client flags]
+//	nvmd metrics     [client flags]
+//	nvmd cache       [client flags]
+//	nvmd workers     [client flags]
 //
 // serve runs until SIGINT/SIGTERM, then drains: running jobs are
 // interrupted (their checkpoints keep every completed cell) and resume on
 // the next start. With -cache the daemon memoizes every cell result in a
 // content-addressed cache under <data>/cache (or -cache-dir), shared
-// across jobs and restarts. submit reads a JSON JobSpec from a file or
-// stdin and prints the assigned job; with -wait it follows the event
-// stream and exits non-zero unless the job completes.
+// across jobs and restarts; -cache-peer fills local misses from another
+// daemon's /v1/cluster/cache/get endpoint before computing. submit reads
+// a JSON JobSpec from a file or stdin and prints the assigned job; with
+// -wait it follows the event stream and exits non-zero unless the job
+// completes.
+//
+// coordinator is serve plus the cluster layer: the daemon also mounts
+// /v1/cluster/* and dispatches the cells of federated jobs (spec field
+// "federated": true, or submit -federated) to registered workers instead
+// of computing them in-process. worker is the matching half — it joins a
+// coordinator, leases cells, computes them with the same engine, and
+// reports results; kill it any time, its leases expire and the cells move
+// to surviving workers. Because the coordinator commits results through
+// the same ordered runner as a local sweep, a federated job's result,
+// events and checkpoint are byte-identical to a single-node run at any
+// worker count.
 //
 // Every client subcommand shares the retry knobs alongside -addr:
 // -retry-attempts, -retry-base, -retry-max and -request-timeout tune the
@@ -27,6 +43,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,11 +52,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"maxwe/internal/cluster"
+	"maxwe/internal/memo"
 	"maxwe/internal/service"
 	"maxwe/internal/service/client"
+	"maxwe/internal/sim"
 )
 
 func main() {
@@ -51,6 +73,10 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "coordinator":
+		err = cmdCoordinator(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
 	case "status":
@@ -65,6 +91,8 @@ func main() {
 		err = cmdMetrics(os.Args[2:])
 	case "cache":
 		err = cmdCache(os.Args[2:])
+	case "workers":
+		err = cmdWorkers(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -83,23 +111,40 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: nvmd <command> [flags]
 
 commands:
-  serve    run the experiment daemon
-  submit   submit a job spec (JSON file or - for stdin)
-  status   show one job's status
-  wait     block until a job finishes
-  cancel   cancel a queued or running job
-  result   print a done job's result document
-  metrics  print the daemon's counters
-  cache    print the daemon's result-cache status and counters
+  serve        run the experiment daemon
+  coordinator  run the daemon with the cluster layer: federated jobs fan out to workers
+  worker       join a coordinator, lease sweep cells and compute them
+  submit       submit a job spec (JSON file or - for stdin)
+  status       show one job's status
+  wait         block until a job finishes
+  cancel       cancel a queued or running job
+  result       print a done job's result document
+  metrics      print the daemon's counters
+  cache        print the daemon's result-cache status and counters
+  workers      list the coordinator's registered workers
 
 run "nvmd <command> -h" for that command's flags.
 `)
 }
 
-// cmdServe runs the daemon until SIGINT/SIGTERM, then drains the manager
-// and shuts the HTTP server down.
+// cmdServe runs the plain daemon until SIGINT/SIGTERM, then drains the
+// manager and shuts the HTTP server down.
 func cmdServe(args []string) error {
-	fs := newFlagSet("serve")
+	return runDaemon("serve", args, false)
+}
+
+// cmdCoordinator runs the daemon with the cluster layer mounted:
+// federated jobs dispatch their cells to registered workers.
+func cmdCoordinator(args []string) error {
+	return runDaemon("coordinator", args, true)
+}
+
+// runDaemon is the shared body of serve and coordinator. The two modes
+// differ only in whether a cluster.Coordinator is constructed and wired
+// in as the manager's cell dispatcher (plus the /v1/cluster mux and the
+// cluster block on /metrics).
+func runDaemon(name string, args []string, coordinator bool) error {
+	fs := newFlagSet(name)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
 	data := fs.String("data", "", "durable job data directory (required)")
 	workers := fs.Int("job-workers", 2, "concurrent jobs")
@@ -107,22 +152,47 @@ func cmdServe(args []string) error {
 	portFile := fs.String("port-file", "", "write the bound address here once listening")
 	cache := fs.Bool("cache", false, "memoize cell results in a content-addressed cache shared across jobs and restarts")
 	cacheDir := fs.String("cache-dir", "", "result cache directory (implies -cache; default <data>/cache)")
+	cachePeer := fs.String("cache-peer", "", "peer daemon base URL; local cache misses probe its /v1/cluster/cache/get before computing (requires -cache)")
+	var leaseTimeout, workerTTL, leaseWait *time.Duration
+	if coordinator {
+		leaseTimeout = fs.Duration("lease-timeout", cluster.DefaultLeaseTimeout, "how long a leased cell may run between heartbeats before it is reassigned")
+		workerTTL = fs.Duration("worker-ttl", cluster.DefaultWorkerTTL, "how long a silent worker stays registered")
+		leaseWait = fs.Duration("lease-wait", cluster.DefaultLeaseWait, "how long an idle lease poll parks before returning empty")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
-		return fmt.Errorf("serve: -data is required")
+		return fmt.Errorf("%s: -data is required", name)
 	}
 	if *cache && *cacheDir == "" {
 		*cacheDir = filepath.Join(*data, "cache")
 	}
+	if *cachePeer != "" && *cacheDir == "" {
+		return fmt.Errorf("%s: -cache-peer requires -cache or -cache-dir", name)
+	}
 
-	mgr, err := service.NewManager(service.Config{
+	cfg := service.Config{
 		DataDir:    *data,
 		JobWorkers: *workers,
 		QueueDepth: *queue,
 		CacheDir:   *cacheDir,
-	})
+	}
+	if *cachePeer != "" {
+		cfg.CachePeer = &cluster.CachePeer{URL: strings.TrimRight(*cachePeer, "/")}
+	}
+	var coord *cluster.Coordinator
+	if coordinator {
+		coord = cluster.NewCoordinator(cluster.Config{
+			LeaseTimeout: *leaseTimeout,
+			WorkerTTL:    *workerTTL,
+			LeaseWait:    *leaseWait,
+			EngineSchema: sim.EngineSchemaVersion,
+		})
+		cfg.Dispatcher = coord
+	}
+
+	mgr, err := service.NewManager(cfg)
 	if err != nil {
 		return err
 	}
@@ -131,7 +201,7 @@ func cmdServe(args []string) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		mgr.Close()
-		return fmt.Errorf("serve: listen %s: %w", *addr, err)
+		return fmt.Errorf("%s: listen %s: %w", name, *addr, err)
 	}
 	bound := ln.Addr().String()
 	if *portFile != "" {
@@ -139,12 +209,12 @@ func cmdServe(args []string) error {
 		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
 			_ = ln.Close()
 			mgr.Close()
-			return fmt.Errorf("serve: write port file: %w", err)
+			return fmt.Errorf("%s: write port file: %w", name, err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "nvmd: listening on %s (data %s)\n", bound, *data)
+	fmt.Fprintf(os.Stderr, "nvmd: %s listening on %s (data %s)\n", name, bound, *data)
 
-	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	srv := &http.Server{Handler: daemonHandler(mgr, coord)}
 	errc := make(chan error, 1)
 	//lint:allow nondeterminism "the HTTP server needs its own goroutine so main can select on signals; job payloads stay deterministic"
 	go func() { errc <- srv.Serve(ln) }() //lint:allow ctxprop "never blocks: errc has capacity 1 and exactly one send"
@@ -156,7 +226,7 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "nvmd: %v — draining\n", sig)
 	case err := <-errc:
 		mgr.Close()
-		return fmt.Errorf("serve: %w", err)
+		return fmt.Errorf("%s: %w", name, err)
 	}
 
 	// Drain jobs first so their checkpoints are final, then let in-flight
@@ -165,10 +235,114 @@ func cmdServe(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		return fmt.Errorf("serve: shutdown: %w", err)
+		return fmt.Errorf("%s: shutdown: %w", name, err)
 	}
 	fmt.Fprintln(os.Stderr, "nvmd: drained")
 	return nil
+}
+
+// daemonHandler composes the daemon's HTTP surface. Plain daemons serve
+// the job API, plus the peer-fill cache endpoint when a cache is open so
+// sibling daemons can -cache-peer at them. Coordinators additionally
+// mount the full /v1/cluster surface and append the cluster counter
+// block to /metrics.
+func daemonHandler(mgr *service.Manager, coord *cluster.Coordinator) http.Handler {
+	api := service.NewHandler(mgr)
+	// A nil *memo.Cache must become a nil interface, not a typed nil,
+	// or the handler would call Get on a nil receiver.
+	var src cluster.CacheSource
+	if c := mgr.Cache(); c != nil {
+		src = c
+	}
+	if coord == nil {
+		if src == nil {
+			return api
+		}
+		mux := http.NewServeMux()
+		mux.Handle("POST /v1/cluster/cache/get", cluster.CacheHandler(src))
+		mux.Handle("/", api)
+		return mux
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/", cluster.NewHandler(coord, src))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		text, err := mgr.MetricsSnapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+		fmt.Fprint(w, cluster.MetricsText(coord.Stats()))
+	})
+	mux.Handle("/", api)
+	return mux
+}
+
+// cmdWorker joins a coordinator and computes leased cells until
+// SIGINT/SIGTERM. A worker holds no job state of its own: killing one
+// only delays the cells it was computing until their leases expire and a
+// surviving worker picks them up.
+func cmdWorker(args []string) error {
+	fs := newFlagSet("worker")
+	coordURL := fs.String("coordinator", "", "coordinator base URL (required)")
+	slots := fs.Int("slots", 0, "concurrent cells (0 = one per CPU)")
+	cacheDir := fs.String("cache-dir", "", "local memo cache directory; misses peer-fill from the coordinator")
+	label := fs.String("name", "", "worker label shown in nvmd workers (default hostname)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordURL == "" {
+		return fmt.Errorf("worker: -coordinator is required")
+	}
+	base := strings.TrimRight(*coordURL, "/")
+	if *slots <= 0 {
+		*slots = runtime.NumCPU()
+	}
+	if *label == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*label = host
+	}
+
+	var cache *memo.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = memo.Open(memo.Options{
+			Dir:  *cacheDir,
+			Peer: &cluster.CachePeer{URL: base},
+		})
+		if err != nil {
+			return fmt.Errorf("worker: open cache: %w", err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "nvmd: worker %q joining %s (slots %d, cache %v)\n", *label, base, *slots, cache != nil)
+	err := cluster.RunWorker(ctx, cluster.WorkerOptions{
+		Coordinator: base,
+		Info: cluster.WorkerInfo{
+			Name:         *label,
+			Slots:        *slots,
+			CacheEnabled: cache != nil,
+			EngineSchema: sim.EngineSchemaVersion,
+		},
+		Compute: func(ctx context.Context, t cluster.Task) (json.RawMessage, error) {
+			v, err := service.ComputeCell(ctx, t.Spec, t.Key, cache)
+			return json.RawMessage(v), err
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "nvmd: worker: "+format+"\n", args...)
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "nvmd: worker stopped")
+		return nil
+	}
+	return err
 }
 
 // clientFlags registers the shared client flags (-addr plus the retry
@@ -199,6 +373,7 @@ func cmdSubmit(args []string) error {
 	mkClient := clientFlags(fs)
 	spec := fs.String("spec", "", "JSON JobSpec file, or - for stdin (required)")
 	wait := fs.Bool("wait", false, "wait for the job to finish")
+	federated := fs.Bool("federated", false, "mark the job federated: a coordinator fans its cells out to workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -218,6 +393,9 @@ func cmdSubmit(args []string) error {
 	var js service.JobSpec
 	if err := json.Unmarshal(raw, &js); err != nil {
 		return fmt.Errorf("submit: parse spec: %w", err)
+	}
+	if *federated {
+		js.Federated = true
 	}
 
 	c := mkClient()
@@ -354,6 +532,20 @@ func cmdCache(args []string) error {
 		return err
 	}
 	return printJSON(cs)
+}
+
+// cmdWorkers lists the coordinator's registered workers.
+func cmdWorkers(args []string) error {
+	fs := newFlagSet("workers")
+	mkClient := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ws, err := mkClient().Workers(context.Background())
+	if err != nil {
+		return err
+	}
+	return printJSON(ws)
 }
 
 // newFlagSet names a subcommand flag set consistently.

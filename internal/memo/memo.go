@@ -67,6 +67,18 @@ func Fingerprint(scope string, v any) string {
 	return scope + "/" + hex.EncodeToString(sum[:])
 }
 
+// Peer is a remote cache another node exposes — in the nvmd federation,
+// a coordinator's /v1/cluster/cache surface. A peer is consulted only
+// after both local tiers miss, and exclusively as an optimization: any
+// fetch failure (network, timeout, peer down) must be reported as a
+// plain miss so the caller computes locally. Implementations must be
+// safe for concurrent use.
+type Peer interface {
+	// Fetch returns the peer's value for key; ok is false on a miss or
+	// on any transport failure.
+	Fetch(key string) (val []byte, ok bool)
+}
+
 // Options configures Open. The zero value is a memory-only cache with
 // the default LRU bound.
 type Options struct {
@@ -81,6 +93,11 @@ type Options struct {
 	// real filesystem (atomicio.OS); the chaos harness can pass a
 	// fault-injecting implementation.
 	FS atomicio.FS
+	// Peer, when non-nil, adds a third lookup tier behind memory and
+	// disk: a remote cache (another nvmd's cluster cache surface) probed
+	// on a local miss. A peer hit is written through to both local tiers
+	// so it is served locally from then on; a peer failure is a miss.
+	Peer Peer
 }
 
 // Stats is a point-in-time snapshot of the cache counters, served by
@@ -111,6 +128,14 @@ type Stats struct {
 	// BytesRead and BytesWritten count disk-tier traffic.
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
+	// PeerHits counts lookups served by the configured peer (a remote
+	// cache probed after both local tiers missed); PeerMisses counts
+	// peer probes that found nothing (transport failures included), and
+	// PeerBytes the bytes fetched from the peer. All zero when no peer
+	// is configured.
+	PeerHits   int64 `json:"peer_hits"`
+	PeerMisses int64 `json:"peer_misses"`
+	PeerBytes  int64 `json:"peer_bytes"`
 	// Entries is the current in-memory LRU population.
 	Entries int `json:"entries"`
 }
@@ -130,6 +155,7 @@ type Cache struct {
 	dir        string
 	maxEntries int
 	fs         atomicio.FS
+	peer       Peer
 
 	mu      sync.Mutex
 	order   *list.List               // front = most recently used
@@ -170,6 +196,7 @@ func Open(opts Options) (*Cache, error) {
 		dir:        opts.Dir,
 		maxEntries: opts.MaxEntries,
 		fs:         opts.FS,
+		peer:       opts.Peer,
 		order:      list.New(),
 		entries:    make(map[string]*list.Element),
 		flights:    make(map[string]*flight),
@@ -191,16 +218,7 @@ func (c *Cache) Get(key string) (val []byte, ok bool) {
 	val, tier := c.lookup(key)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	switch tier {
-	case tierMem:
-		c.stats.Hits++
-		c.stats.MemHits++
-	case tierDisk:
-		c.stats.Hits++
-		c.stats.DiskHits++
-	default:
-		c.stats.Misses++
-	}
+	c.countLocked(tier, len(val))
 	return val, tier != tierMiss
 }
 
@@ -209,7 +227,28 @@ const (
 	tierMiss = iota
 	tierMem
 	tierDisk
+	tierPeer
 )
+
+// countLocked folds one lookup outcome into the stats. Caller holds
+// c.mu. Peer-probe accounting (PeerMisses) happens in lookup itself,
+// because a peer miss still ends as an overall miss here.
+func (c *Cache) countLocked(tier, size int) {
+	switch tier {
+	case tierMem:
+		c.stats.Hits++
+		c.stats.MemHits++
+	case tierDisk:
+		c.stats.Hits++
+		c.stats.DiskHits++
+	case tierPeer:
+		c.stats.Hits++
+		c.stats.PeerHits++
+		c.stats.PeerBytes += int64(size)
+	default:
+		c.stats.Misses++
+	}
+}
 
 // lookup is Get without the stats accounting (GetOrCompute does its own:
 // one outcome per call, however many internal probes the singleflight
@@ -223,31 +262,68 @@ func (c *Cache) lookup(key string) ([]byte, int) {
 		return val, tierMem
 	}
 	c.mu.Unlock()
+	if val, ok := c.lookupDisk(key); ok {
+		return val, tierDisk
+	}
+	if val, ok := c.lookupPeer(key); ok {
+		return val, tierPeer
+	}
+	return nil, tierMiss
+}
+
+// lookupDisk probes the durable tier and promotes a hit into memory.
+func (c *Cache) lookupDisk(key string) ([]byte, bool) {
 	if c.dir == "" {
-		return nil, tierMiss
+		return nil, false
 	}
 	// Disk probe outside the lock: file I/O must never serialize the
 	// memory tier.
 	path := c.path(key)
 	data, err := c.fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, tierMiss
+		return nil, false
 	}
 	if err != nil {
 		// An unreadable entry (permissions, I/O error) is a miss, not a
 		// failure: the caller recomputes.
-		return nil, tierMiss
+		return nil, false
 	}
 	var env envelope
 	if uerr := json.Unmarshal(data, &env); uerr != nil || env.Key != key || len(env.Value) == 0 {
 		c.quarantine(path)
-		return nil, tierMiss
+		return nil, false
 	}
 	c.mu.Lock()
 	c.stats.BytesRead += int64(len(data))
 	c.insertLocked(key, []byte(env.Value))
 	c.mu.Unlock()
-	return []byte(env.Value), tierDisk
+	return []byte(env.Value), true
+}
+
+// lookupPeer probes the configured remote peer (the peer-fill path of
+// the nvmd federation). A hit is written through to both local tiers so
+// the entry is served locally from then on; a probe failure — or a peer
+// value that is not valid JSON — is a miss, never an error, because the
+// peer is an optimization the caller can always compute around.
+func (c *Cache) lookupPeer(key string) ([]byte, bool) {
+	if c.peer == nil {
+		return nil, false
+	}
+	// Network probe outside the lock, like the disk tier.
+	val, ok := c.peer.Fetch(key)
+	if !ok || len(val) == 0 || !json.Valid(val) {
+		c.mu.Lock()
+		c.stats.PeerMisses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.insertLocked(key, val)
+	c.mu.Unlock()
+	// Write-through so a restart hits the disk tier instead of the
+	// network; a write failure only degrades (counted in WriteErrors).
+	_ = c.writeDisk(key, val)
+	return val, true
 }
 
 // quarantine renames a corrupt disk entry aside (<name>.corrupt) so it
@@ -353,12 +429,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	for {
 		if val, tier := c.lookup(key); tier != tierMiss {
 			c.mu.Lock()
-			c.stats.Hits++
-			if tier == tierMem {
-				c.stats.MemHits++
-			} else {
-				c.stats.DiskHits++
-			}
+			c.countLocked(tier, len(val))
 			c.mu.Unlock()
 			return val, true, nil
 		}

@@ -332,3 +332,112 @@ func TestDiscardQuarantines(t *testing.T) {
 		t.Fatalf("live entries after discard: %v (err %v)", names, err)
 	}
 }
+
+// mapPeer is an in-memory Peer for tests, with a probe counter and a
+// switch to simulate a down peer.
+type mapPeer struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	probes  int
+	down    bool
+}
+
+func (p *mapPeer) Fetch(key string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probes++
+	if p.down {
+		return nil, false
+	}
+	v, ok := p.entries[key]
+	return v, ok
+}
+
+func TestPeerFill(t *testing.T) {
+	peer := &mapPeer{entries: map[string][]byte{"k": []byte(`{"v":42}`)}}
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir, Peer: peer})
+
+	v, ok := c.Get("k")
+	if !ok || string(v) != `{"v":42}` {
+		t.Fatalf("Get = %q, %v; want peer value", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.PeerHits != 1 || s.PeerBytes != int64(len(`{"v":42}`)) {
+		t.Fatalf("after peer fill, stats = %+v", s)
+	}
+	if s.Misses != 0 || s.PeerMisses != 0 {
+		t.Fatalf("peer hit counted as a miss: %+v", s)
+	}
+
+	// The fill wrote through to both local tiers: the next Get is a
+	// memory hit and a fresh cache over the same dir hits disk — neither
+	// probes the peer again.
+	if v, ok := c.Get("k"); !ok || string(v) != `{"v":42}` {
+		t.Fatalf("second Get = %q, %v", v, ok)
+	}
+	if got := c.Stats(); got.MemHits != 1 || got.PeerHits != 1 {
+		t.Fatalf("second Get should be a memory hit: %+v", got)
+	}
+	c2 := mustOpen(t, Options{Dir: dir, Peer: peer})
+	if v, ok := c2.Get("k"); !ok || string(v) != `{"v":42}` {
+		t.Fatalf("fresh cache Get = %q, %v", v, ok)
+	}
+	if got := c2.Stats(); got.DiskHits != 1 || got.PeerHits != 0 {
+		t.Fatalf("fresh cache should hit disk, not peer: %+v", got)
+	}
+	peer.mu.Lock()
+	probes := peer.probes
+	peer.mu.Unlock()
+	if probes != 1 {
+		t.Fatalf("peer probed %d times, want exactly 1", probes)
+	}
+}
+
+func TestPeerMissAndDownPeer(t *testing.T) {
+	peer := &mapPeer{entries: map[string][]byte{}}
+	c := mustOpen(t, Options{Peer: peer})
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("miss everywhere reported a hit")
+	}
+	peer.mu.Lock()
+	peer.down = true
+	peer.mu.Unlock()
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("down peer reported a hit")
+	}
+	s := c.Stats()
+	if s.Misses != 2 || s.PeerMisses != 2 || s.PeerHits != 0 {
+		t.Fatalf("stats = %+v; want 2 misses, 2 peer misses", s)
+	}
+}
+
+func TestPeerInvalidValueIsMiss(t *testing.T) {
+	peer := &mapPeer{entries: map[string][]byte{"k": []byte(`{"truncated`)}}
+	c := mustOpen(t, Options{Peer: peer})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("non-JSON peer value must be a miss, never served")
+	}
+	if s := c.Stats(); s.PeerMisses != 1 || s.PeerHits != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGetOrComputePeerHitSkipsCompute(t *testing.T) {
+	peer := &mapPeer{entries: map[string][]byte{"k": []byte(`{"v":1}`)}}
+	c := mustOpen(t, Options{Peer: peer})
+	computed := 0
+	v, hit, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		computed++
+		return []byte(`{"v":1}`), nil
+	})
+	if err != nil || !hit || string(v) != `{"v":1}` {
+		t.Fatalf("GetOrCompute = %q, hit=%v, err=%v", v, hit, err)
+	}
+	if computed != 0 {
+		t.Fatalf("peer hit still computed %d times", computed)
+	}
+	if s := c.Stats(); s.PeerHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

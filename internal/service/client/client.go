@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"maxwe/internal/cluster"
 	"maxwe/internal/service"
 )
 
@@ -300,6 +301,32 @@ func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobS
 	return st, err
 }
 
+// SubmitFederated submits a job with the federated flag set, asking a
+// coordinator daemon to shard the job's cells across its worker cluster.
+// The flag is runner policy: against a daemon with no cluster the job
+// runs locally, and either way the result bytes are identical, so
+// callers lose nothing by asking.
+func (c *Client) SubmitFederated(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	spec.Federated = true
+	return c.Submit(ctx, spec)
+}
+
+// Workers lists the workers registered with a coordinator daemon
+// (GET /v1/cluster/workers).
+func (c *Client) Workers(ctx context.Context) ([]cluster.WorkerStatus, error) {
+	var out []cluster.WorkerStatus
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/workers", nil, &out, nil)
+	return out, err
+}
+
+// ClusterStats fetches a coordinator daemon's scheduler counters
+// (GET /v1/cluster/stats).
+func (c *Client) ClusterStats(ctx context.Context) (cluster.Stats, error) {
+	var out cluster.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/stats", nil, &out, nil)
+	return out, err
+}
+
 // Status fetches a job's live status. With partial set, the completed
 // cell values checkpointed so far are included.
 func (c *Client) Status(ctx context.Context, id string, partial bool) (service.JobStatus, error) {
@@ -354,27 +381,94 @@ func (c *Client) Healthz(ctx context.Context) error {
 }
 
 // Events streams the job's NDJSON progress events, calling fn for each
-// one until the stream ends (terminal job state), fn returns an error, or
-// ctx is canceled. Returning io.EOF from fn stops the stream cleanly. The
-// stream is not retried — callers that need resilience across daemon
-// restarts use Wait, which reconnects around this method.
+// one until the job reaches a terminal state, fn returns an error, or ctx
+// is canceled. Returning io.EOF from fn stops the stream cleanly.
+//
+// The stream is hardened for long-lived watchers: a dropped connection
+// (proxy timeout, daemon restart, network blip) reconnects with a
+// ?from= resume offset instead of silently ending, so fn sees every
+// event exactly once per daemon lifetime. Reconnection gives up after
+// Retry.MaxAttempts consecutive attempts that deliver no events (the
+// counter resets on any delivered event), so a permanently gone daemon
+// surfaces as an error rather than an infinite loop. One caveat is
+// inherited from the server: the event log is in-memory, so after a
+// daemon restart sequence numbers restart too and the fresh history is
+// replayed — fn must tolerate a Seq that jumps backward across a
+// reconnect (terminal detection does: terminal states are sticky).
 func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	from := 0
+	failures := 0
+	for {
+		progressed := false
+		sawTerminal := false
+		fatal, err := c.streamEventsOnce(ctx, id, from, func(ev service.Event) error {
+			progressed = true
+			from = ev.Seq + 1
+			if ev.Type == "state" && ev.State.Terminal() {
+				sawTerminal = true
+			}
+			return fn(ev)
+		})
+		if fatal {
+			if errors.Is(err, io.EOF) {
+				return nil // fn asked to stop
+			}
+			return err
+		}
+		if sawTerminal {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("client: events %s: %w", id, err)
+		}
+		if progressed {
+			failures = 0
+		} else {
+			failures++
+		}
+		if failures >= c.Retry.attempts() {
+			return fmt.Errorf("client: events %s: stream dropped %d times with no progress: %w", id, failures, err)
+		}
+		wait := c.Retry.Backoff(failures + 1)
+		if progressed {
+			// The daemon was just talking to us; come straight back.
+			wait = c.Retry.base()
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("client: events %s: %w", id, ctx.Err())
+		case <-time.After(wait):
+		}
+	}
+}
+
+// streamEventsOnce follows one NDJSON connection from sequence offset
+// from. fatal=true means the loop must stop and surface err (a non-2xx
+// the server meant, or fn's own error); fatal=false classifies err as a
+// dropped stream worth resuming — including a clean server close before
+// the job finished, which is what a drained daemon produces.
+func (c *Client) streamEventsOnce(ctx context.Context, id string, from int, deliver func(service.Event) error) (fatal bool, err error) {
+	path := "/v1/jobs/" + id + "/events"
+	if from > 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return fmt.Errorf("client: build events request: %w", err)
+		return true, fmt.Errorf("client: build events request: %w", err)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return fmt.Errorf("client: events %s: %w", id, err)
+		return false, fmt.Errorf("client: events %s: %w", id, err)
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		he := &HTTPError{Method: http.MethodGet, Path: path, StatusCode: resp.StatusCode}
 		var ae apiError
-		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("client: events %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)
+		if json.Unmarshal(raw, &ae) == nil {
+			he.Message = ae.Error
 		}
-		return fmt.Errorf("client: events %s: HTTP %d", id, resp.StatusCode)
+		return !he.Temporary(), he
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
@@ -385,19 +479,18 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) e
 		}
 		var ev service.Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("client: decode event: %w", err)
+			// A cut connection can surface its last buffered fragment as a
+			// truncated line; resume and let the server resend it whole.
+			return false, fmt.Errorf("client: events %s: truncated event line: %w", id, err)
 		}
-		if err := fn(ev); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return err
+		if err := deliver(ev); err != nil {
+			return true, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("client: events %s stream: %w", id, err)
+		return false, fmt.Errorf("client: events %s stream: %w", id, err)
 	}
-	return nil
+	return false, nil // clean close; the caller decides via sawTerminal
 }
 
 // Wait poll backoff bounds: the fallback poll starts at WaitBaseBackoff

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -255,5 +256,110 @@ func TestWaitReturnsOnCancel(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("Wait took %v to notice cancellation", elapsed)
+	}
+}
+
+// TestEventsReconnectsWithResumeOffset pins the hardened Events stream:
+// a server that drops the NDJSON connection after every few events must
+// not silently end the watch — the client reconnects with ?from= and
+// the watcher sees every event exactly once, through to the terminal
+// state.
+func TestEventsReconnectsWithResumeOffset(t *testing.T) {
+	const total = 9 // events 0..8; the last is terminal
+	makeEvent := func(seq int) service.Event {
+		ev := service.Event{Seq: seq, Job: "job-000001", Type: "cell", Status: "done"}
+		if seq == total-1 {
+			ev.Type, ev.State = "state", service.StateDone
+		}
+		return ev
+	}
+	var conns atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		from := 0
+		if s := r.URL.Query().Get("from"); s != "" {
+			var err error
+			if from, err = strconv.Atoi(s); err != nil {
+				t.Errorf("bad from=%q", s)
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		// Serve at most 3 events per connection, then cut the stream
+		// abruptly (no terminal state), forcing a resume.
+		for i := from; i < from+3 && i < total; i++ {
+			if err := enc.Encode(makeEvent(i)); err != nil {
+				return
+			}
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	var seen []int
+	err := c.Events(context.Background(), "job-000001", func(ev service.Event) error {
+		seen = append(seen, ev.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(seen) != total {
+		t.Fatalf("saw %d events %v, want %d", len(seen), seen, total)
+	}
+	for i, seq := range seen {
+		if seq != i {
+			t.Fatalf("event %d has seq %d (events lost or duplicated): %v", i, seq, seen)
+		}
+	}
+	if n := conns.Load(); n < 3 {
+		t.Fatalf("server saw %d connections; the drop-every-3 server requires >= 3", n)
+	}
+}
+
+// TestEventsGivesUpAfterRepeatedSilentDrops pins the failure bound: a
+// stream that keeps dropping without delivering anything must surface an
+// error after Retry.MaxAttempts consecutive failures, not loop forever —
+// that is what lets Wait fall back to polling.
+func TestEventsGivesUpAfterRepeatedSilentDrops(t *testing.T) {
+	var conns atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		// Accept and immediately close without a terminal event.
+	}))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	err := c.Events(context.Background(), "job-000001", func(service.Event) error { return nil })
+	if err == nil {
+		t.Fatal("Events returned nil for a stream that never progressed")
+	}
+	if got := conns.Load(); got != int32(fastRetry().MaxAttempts) {
+		t.Fatalf("server saw %d connections, want exactly MaxAttempts=%d", got, fastRetry().MaxAttempts)
+	}
+}
+
+// TestEventsStopsOnNonRetryableError pins that a 404 (no such job) is
+// not retried.
+func TestEventsStopsOnNonRetryableError(t *testing.T) {
+	var conns atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":"service: no such job"}`))
+	}))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	c.Retry = fastRetry()
+	err := c.Events(context.Background(), "job-000404", func(service.Event) error { return nil })
+	if err == nil {
+		t.Fatal("Events returned nil for a 404")
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("404 was retried: %d connections", got)
 	}
 }

@@ -75,6 +75,13 @@ func (l *eventLog) finish() {
 	l.wake = make(chan struct{})
 }
 
+// len reports the current history length (the next sequence number).
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
 // since returns the events from index from onward, whether the stream is
 // complete, and a channel that closes on the next append — the subscriber
 // loop: emit evs; if terminal and none pending, stop; else wait on wake.

@@ -66,6 +66,17 @@ type Config struct {
 	// CacheEntries bounds the cache's in-process LRU (0 selects the memo
 	// package default). Ignored when CacheDir is empty.
 	CacheEntries int
+	// CachePeer, when non-nil, is the remote fill tier of the memo cache:
+	// a local miss probes the peer (another daemon's or a coordinator's
+	// cluster cache endpoint) before computing. Ignored when CacheDir is
+	// empty. cmd/nvmd wires cluster.CachePeer here from -cache-peer.
+	CachePeer memo.Peer
+	// Dispatcher, when non-nil, enables federated sweeps: jobs submitted
+	// with "federated": true hand each cell to it instead of computing
+	// in-process. cmd/nvmd wires the cluster coordinator here; everything
+	// else about the job (ordering, checkpoints, events, results) is
+	// unchanged, so federated and local runs are byte-identical.
+	Dispatcher CellDispatcher
 }
 
 // Sentinel errors surfaced to the HTTP layer.
@@ -157,7 +168,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	var cache *memo.Cache
 	if cfg.CacheDir != "" {
 		var err error
-		cache, err = memo.Open(memo.Options{Dir: cfg.CacheDir, MaxEntries: cfg.CacheEntries, FS: cfg.FS})
+		cache, err = memo.Open(memo.Options{Dir: cfg.CacheDir, MaxEntries: cfg.CacheEntries, FS: cfg.FS, Peer: cfg.CachePeer})
 		if err != nil {
 			return nil, fmt.Errorf("service: open result cache: %w", err)
 		}
@@ -548,6 +559,10 @@ type CacheStatus struct {
 	Stats   memo.Stats `json:"stats"`
 }
 
+// Cache exposes the daemon's memo cache so cmd/nvmd can compose it with
+// the cluster layer's peer-fill endpoint. Nil when caching is disabled.
+func (m *Manager) Cache() *memo.Cache { return m.cache }
+
 // CacheStats snapshots the cluster-wide result cache.
 func (m *Manager) CacheStats() CacheStatus {
 	if m.cache == nil {
@@ -667,35 +682,54 @@ func (m *Manager) sweep(ctx context.Context, j *job) (JobResult, bool, error) {
 		FS:             m.fs,
 		Cache:          m.cache,
 	}
+	// Each kind expands its cells, optionally wraps them for cluster
+	// dispatch (maybeFederate — a no-op for local jobs), and runs them
+	// through the one runner path. Assembly from rep.Results is shared
+	// with checkpoint resume, so federated, resumed and plain runs all
+	// produce the same bytes.
 	switch j.spec.Kind {
 	case KindFig7:
 		setup, err := j.spec.Setup.setup()
 		if err != nil {
 			return JobResult{}, false, err
 		}
-		rows, rep, err := experiments.Fig7Sweep(ctx, rcfg, setup, j.spec.SWRPercents, j.spec.WLs)
+		cells, err := maybeFederate(m.cfg.Dispatcher, j, experiments.Fig7Cells(setup, j.spec.SWRPercents, j.spec.WLs))
+		if err != nil {
+			return JobResult{}, false, err
+		}
+		rep, err := runner.Run(ctx, rcfg, cells)
 		if err != nil {
 			return JobResult{}, false, err
 		}
 		if rep.Interrupted {
 			return JobResult{}, true, nil
 		}
+		rows := experiments.Fig7FromResults(rep.Results, j.spec.SWRPercents, j.spec.WLs)
 		return resultFig7(j, rows, rep), false, nil
 	case KindFig8:
 		setup, err := j.spec.Setup.setup()
 		if err != nil {
 			return JobResult{}, false, err
 		}
-		rows, gmeans, rep, err := experiments.Fig8Sweep(ctx, rcfg, setup)
+		cells, err := maybeFederate(m.cfg.Dispatcher, j, experiments.Fig8Cells(setup))
+		if err != nil {
+			return JobResult{}, false, err
+		}
+		rep, err := runner.Run(ctx, rcfg, cells)
 		if err != nil {
 			return JobResult{}, false, err
 		}
 		if rep.Interrupted {
 			return JobResult{}, true, nil
 		}
+		rows, gmeans := experiments.Fig8FromResults(rep.Results)
 		return resultFig8(j, rows, gmeans, rep), false, nil
 	case KindCells:
-		rep, err := runner.Run(ctx, rcfg, sweepCells(j.spec.Cells))
+		cells, err := maybeFederate(m.cfg.Dispatcher, j, sweepCells(j.spec.Cells))
+		if err != nil {
+			return JobResult{}, false, err
+		}
+		rep, err := runner.Run(ctx, rcfg, cells)
 		if err != nil {
 			return JobResult{}, false, err
 		}

@@ -145,6 +145,9 @@ func (m *Metrics) write(w io.Writer, queued, running int, cache *memo.Stats) err
 			{"nvmd_cache_dedup_hits_total", fmt.Sprint(cache.DedupHits)},
 			{"nvmd_cache_misses_total", fmt.Sprint(cache.Misses)},
 			{"nvmd_cache_puts_total", fmt.Sprint(cache.Puts)},
+			{"nvmd_cache_peer_hits_total", fmt.Sprint(cache.PeerHits)},
+			{"nvmd_cache_peer_misses_total", fmt.Sprint(cache.PeerMisses)},
+			{"nvmd_cache_peer_bytes_total", fmt.Sprint(cache.PeerBytes)},
 			{"nvmd_cache_corrupt_total", fmt.Sprint(cache.Corrupt)},
 			{"nvmd_cache_write_errors_total", fmt.Sprint(cache.WriteErrors)},
 			{"nvmd_cache_bytes_read_total", fmt.Sprint(cache.BytesRead)},

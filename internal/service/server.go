@@ -5,6 +5,7 @@
 //	GET    /v1/jobs              list every job's status
 //	GET    /v1/jobs/{id}         status (+ ?partial=1 for checkpointed cells)
 //	GET    /v1/jobs/{id}/events  NDJSON progress stream, history then live
+//	                             (?from=N resumes after sequence N-1)
 //	GET    /v1/jobs/{id}/result  final result document (exact stored bytes)
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/cache/stats       cluster-wide result-cache counters
@@ -26,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // MaxSpecBytes bounds the request body of POST /v1/jobs; a spec larger
@@ -116,14 +118,30 @@ func NewHandler(m *Manager) http.Handler {
 
 // streamEvents writes the job's event history as NDJSON, flushing per
 // line, then follows the log live until the job reaches a terminal state,
-// the client disconnects, or the daemon drains.
+// the client disconnects, or the daemon drains. An optional ?from=N
+// query resumes mid-history — a reconnecting watcher passes the sequence
+// number after the last event it saw. from is clamped to the current log
+// length: the log is in-memory and restarts from zero with the daemon,
+// so an offset from a previous daemon lifetime must replay the fresh
+// history rather than skip it.
 func streamEvents(w http.ResponseWriter, r *http.Request, m *Manager, log *eventLog) {
+	next := 0
+	if s := r.URL.Query().Get("from"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad from=%q: want a non-negative integer", s))
+			return
+		}
+		next = n
+		if have := log.len(); next > have {
+			next = have
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	next := 0
 	for {
 		evs, terminal, wake := log.since(next)
 		for _, ev := range evs {

@@ -58,7 +58,7 @@ func boundedCell(key string, writes int64) service.CellSpec {
 }
 
 // waitState polls until the job reaches a terminal state or the deadline.
-func waitState(t *testing.T, m *service.Manager, id string) service.JobStatus {
+func waitState(t testing.TB, m *service.Manager, id string) service.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {

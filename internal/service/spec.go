@@ -56,6 +56,13 @@ type JobSpec struct {
 	Retries int `json:"retries,omitempty"`
 	// CellTimeoutMS bounds each cell attempt in milliseconds (0 = none).
 	CellTimeoutMS int64 `json:"cell_timeout_ms,omitempty"`
+	// Federated asks the daemon to dispatch this job's cells across its
+	// worker cluster instead of computing them in-process. It is runner
+	// policy, not experiment content: a daemon without a cluster (or
+	// without Config.Dispatcher) runs the job locally, and the merged
+	// result is byte-identical either way, so the flag is excluded from
+	// the checkpoint fingerprint like Parallelism.
+	Federated bool `json:"federated,omitempty"`
 }
 
 // SetupSpec is the JSON shape of experiments.Setup for fig7/fig8 jobs.
@@ -222,6 +229,7 @@ func (s JobSpec) cellTimeout() time.Duration {
 func (s JobSpec) fingerprint() string {
 	canon := s
 	canon.Parallelism, canon.Retries, canon.CellTimeoutMS = 0, 0, 0
+	canon.Federated = false
 	raw, err := json.Marshal(canon)
 	if err != nil {
 		// Every field is a plain value; this is unreachable.

@@ -86,6 +86,11 @@ func TestFingerprintIgnoresRunnerPolicy(t *testing.T) {
 	if base.fingerprint() != tuned.fingerprint() {
 		t.Fatal("fingerprint changed with runner policy; resumed jobs could not reuse their checkpoints")
 	}
+	federated := base
+	federated.Federated = true
+	if base.fingerprint() != federated.fingerprint() {
+		t.Fatal("fingerprint changed with the federated flag; a federated job's checkpoint could not resume locally (or vice versa)")
+	}
 	smaller := base
 	smaller.Setup = &SetupSpec{Regions: 64}
 	smaller, err = smaller.normalize()
